@@ -1,0 +1,125 @@
+package mpctree
+
+import (
+	"mpctree/internal/apps"
+	"mpctree/internal/vec"
+)
+
+// SpanningEdge is one edge of a spanning tree over the embedded points.
+type SpanningEdge = apps.Edge
+
+// ApproxMST computes a spanning tree of pts from the embedding: the
+// minimum spanning tree under the tree metric with edges re-weighted by
+// true Euclidean distances (Corollary 1's MST application). Its cost is
+// within the embedding's distortion of the optimum in expectation, and
+// never below it.
+func ApproxMST(pts []Point, t *Tree) []SpanningEdge {
+	return apps.TreeMST(pts, t)
+}
+
+// ExactMST computes the exact Euclidean MST (O(n²·d) Prim — ground-truth
+// baseline).
+func ExactMST(pts []Point) []SpanningEdge {
+	return apps.ExactMST(pts)
+}
+
+// ApproxEMD computes the Earth-Mover distance between measures mu and nu
+// over the embedded points under the tree metric (Corollary 1's EMD
+// application): exact on the tree, an O(distortion) approximation of the
+// Euclidean EMD, never below it.
+func ApproxEMD(t *Tree, mu, nu []float64) float64 {
+	return apps.TreeEMD(t, mu, nu)
+}
+
+// ExactEMD computes the exact Euclidean EMD via min-cost flow (small-n
+// ground-truth baseline).
+func ExactEMD(pts []Point, mu, nu []float64) (float64, error) {
+	return apps.ExactEMD(pts, mu, nu)
+}
+
+// DensestBallResult describes a densest-ball answer.
+type DensestBallResult = apps.BallResult
+
+// DensestBall answers the bicriteria densest-ball query of Corollary 1:
+// the most populous tree cluster whose diameter bound is at most beta·D.
+// With beta = O(log^1.5 n) the count is near-optimal with good
+// probability while the diameter is violated by at most beta.
+func DensestBall(t *Tree, d, beta float64) DensestBallResult {
+	return apps.DensestBallTree(t, d, beta)
+}
+
+// ExactDensestBall brute-forces the best point-centered ball of diameter
+// D (ground-truth baseline).
+func ExactDensestBall(pts []Point, d float64) DensestBallResult {
+	return apps.ExactDensestBall(pts, d)
+}
+
+// ClusterMembers lists the points inside the subtree of a tree node (for
+// reading a DensestBallResult back out as data).
+func ClusterMembers(t *Tree, node int) []int {
+	return apps.ClusterMembers(t, node)
+}
+
+// Dist computes the Euclidean distance between two points (a convenience
+// re-export so examples need only this package).
+func Dist(a, b Point) float64 { return vec.Dist(a, b) }
+
+// Clustering assigns each point a cluster id in [0, K).
+type Clustering = apps.Clustering
+
+// SingleLinkage computes an approximate single-linkage k-clustering from
+// the tree embedding (cut the k−1 heaviest edges of the tree-derived
+// spanning tree). Single-linkage under ℓ₂ is the MPC application whose
+// hardness [56] the paper's lower-bound discussion builds on; the
+// embedding route sidesteps it for geometric inputs.
+func SingleLinkage(pts []Point, t *Tree, k int) Clustering {
+	return apps.SingleLinkageTree(pts, t, k)
+}
+
+// ExactSingleLinkage computes the exact Euclidean single-linkage
+// k-clustering in O(n²·d) (baseline).
+func ExactSingleLinkage(pts []Point, k int) Clustering {
+	return apps.SingleLinkageExact(pts, k)
+}
+
+// KCenterResult is a k-center answer (centers + covering radius).
+type KCenterResult = apps.KCenterResult
+
+// KCenter answers k-center from the tree embedding by splitting the
+// largest clusters top-down.
+func KCenter(pts []Point, t *Tree, k int) KCenterResult {
+	return apps.KCenterTree(pts, t, k)
+}
+
+// KCenterGreedy is the Gonzalez 2-approximation baseline.
+func KCenterGreedy(pts []Point, k int) KCenterResult {
+	return apps.KCenterGreedy(pts, k)
+}
+
+// ClusteringAgreement is the Rand index between two clusterings.
+func ClusteringAgreement(a, b Clustering) float64 {
+	return apps.AgreementFraction(a, b)
+}
+
+// KMedianResult reports a k-median solution (centers, exact Euclidean
+// objective, improving swaps used).
+type KMedianResult = apps.KMedianResult
+
+// KMedianSeed derives k initial medians from the tree embedding —
+// k-median is the historical headline application of tree embeddings
+// (FRT), used here as a warm start that makes local search converge in
+// few swaps.
+func KMedianSeed(pts []Point, t *Tree, k int) []int {
+	return apps.TreeSeedKMedian(pts, t, k)
+}
+
+// KMedianLocalSearch improves initial centers by single swaps until no
+// improvement or maxSwaps.
+func KMedianLocalSearch(pts []Point, initial []int, maxSwaps int) KMedianResult {
+	return apps.KMedianLocalSearch(pts, initial, maxSwaps)
+}
+
+// KMedianCost evaluates the exact k-median objective of the centers.
+func KMedianCost(pts []Point, centers []int) float64 {
+	return apps.KMedianCost(pts, centers)
+}

@@ -1,0 +1,62 @@
+// Command mpcbench regenerates the paper's quantitative claims as tables.
+//
+// Usage:
+//
+//	mpcbench                 # run every experiment at full size
+//	mpcbench -exp E07-Thm1   # run one experiment
+//	mpcbench -quick          # CI-sized workloads
+//	mpcbench -list           # list experiment ids and claims
+//	mpcbench -seed 7         # change the master seed
+//
+// Each experiment prints its measured table(s) followed by PASS/FAIL
+// shape checks against the corresponding theorem or figure; the process
+// exits nonzero if any check fails. See EXPERIMENTS.md for the recorded
+// full-size results and their interpretation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mpctree/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	quick := flag.Bool("quick", false, "CI-sized workloads")
+	seed := flag.Uint64("seed", 12345, "master seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: error: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Print(res.String())
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		failed += len(res.Failed())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d check(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

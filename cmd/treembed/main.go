@@ -1,0 +1,201 @@
+// Command treembed embeds a point set into a tree metric and reports the
+// embedding's quality and cost.
+//
+// Points are read from a CSV/whitespace file (one point per line, equal
+// dimension) or generated synthetically. Examples:
+//
+//	treembed -gen uniform -n 512 -d 8 -delta 1024 -method hybrid -r 2
+//	treembed -in points.csv -method grid -trees 10
+//	treembed -gen clusters -n 1000 -d 16 -mpc -machines 16
+//
+// The tool prints tree statistics, MPC accounting (with -mpc), and — for
+// n ≤ 2048 — measured distortion over the requested number of trees.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpctree"
+	"mpctree/internal/core"
+	"mpctree/internal/stats"
+	"mpctree/internal/vec"
+	"mpctree/internal/workload"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input file (one point per line; comma or space separated)")
+		gen      = flag.String("gen", "uniform", "synthetic workload: uniform | clusters | corners | circle")
+		n        = flag.Int("n", 256, "points to generate")
+		d        = flag.Int("d", 8, "dimension to generate")
+		delta    = flag.Int("delta", 1024, "lattice extent Δ")
+		method   = flag.String("method", "hybrid", "partitioning: hybrid | grid | ball")
+		r        = flag.Int("r", 0, "hybrid bucket count (0 = Θ(log log n))")
+		trees    = flag.Int("trees", 5, "trees to sample for distortion stats")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		useMPC   = flag.Bool("mpc", false, "run the full MPC pipeline (FJLT + Algorithm 2)")
+		machines = flag.Int("machines", 8, "simulated machines (with -mpc)")
+		saveTo   = flag.String("save", "", "write the embedding tree (binary) to this file")
+		dotTo    = flag.String("dot", "", "write the tree as Graphviz DOT to this file")
+	)
+	flag.Parse()
+
+	pts, err := loadOrGenerate(*in, *gen, *n, *d, *delta, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treembed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("points: %d, dimension: %d\n", len(pts), len(pts[0]))
+
+	if *useMPC {
+		tree, info, err := mpctree.EmbedMPC(pts, mpctree.MPCOptions{Machines: *machines, CapWords: 1 << 22, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "treembed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tree: %d nodes, height %d\n", tree.NumNodes(), tree.Height())
+		fmt.Printf("MPC: %d machines, %d rounds, peak local %d words, total space %d words, comm %d words\n",
+			info.Machines, info.Metrics.Rounds, info.Metrics.MaxLocalWords, info.Metrics.TotalSpace, info.Metrics.CommWords)
+		if info.UsedFJLT {
+			fmt.Printf("FJLT: d %d → k %d (ξ-style reduction engaged)\n", len(pts[0]), info.FJLTParams.K)
+		}
+		if info.EmbedInfo != nil {
+			fmt.Printf("hybrid: r=%d, %d levels, U=%d grids/(level,bucket), grid state %d words\n",
+				info.EmbedInfo.R, info.EmbedInfo.Levels, info.EmbedInfo.U, info.EmbedInfo.GridWords)
+		}
+		return
+	}
+
+	var m mpctree.Method
+	switch *method {
+	case "hybrid":
+		m = mpctree.Hybrid
+	case "grid":
+		m = mpctree.Grid
+	case "ball":
+		m = mpctree.Ball
+	default:
+		fmt.Fprintf(os.Stderr, "treembed: unknown method %q\n", *method)
+		os.Exit(1)
+	}
+
+	tree, info, err := mpctree.Embed(pts, mpctree.Options{Method: m, R: *r, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treembed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tree: %d nodes, height %d, levels %d, r=%d\n", tree.NumNodes(), tree.Height(), info.Levels, info.R)
+	if *saveTo != "" {
+		if err := saveTree(tree, *saveTo); err != nil {
+			fmt.Fprintln(os.Stderr, "treembed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved to %s\n", *saveTo)
+	}
+	if *dotTo != "" {
+		if err := dumpDOT(tree, *dotTo); err != nil {
+			fmt.Fprintln(os.Stderr, "treembed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("DOT written to %s\n", *dotTo)
+	}
+
+	if len(pts) <= 2048 && *trees > 0 {
+		dist, err := stats.MeasureDistortion(pts, *trees, func(s uint64) (*mpctree.Tree, error) {
+			t, _, err := core.Embed(pts, core.Options{Method: m, R: *r, Seed: *seed ^ s<<17})
+			return t, err
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "treembed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("distortion over %d trees: E[max pair] %.3f, mean %.3f, min single %.4f (domination requires ≥ 1), p95 %.3f\n",
+			dist.Trees, dist.MaxMeanRatio, dist.MeanRatio, dist.MinRatio, dist.P95Ratio)
+	}
+}
+
+func saveTree(t *mpctree.Tree, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func dumpDOT(t *mpctree.Tree, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.DOT(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadOrGenerate(in, gen string, n, d, delta int, seed uint64) ([]vec.Point, error) {
+	if in != "" {
+		return readPoints(in)
+	}
+	switch gen {
+	case "uniform":
+		return workload.UniformLattice(seed, n, d, delta), nil
+	case "clusters":
+		return workload.GaussianClusters(seed, n, d, 5, float64(delta)/64, delta), nil
+	case "corners":
+		return workload.HypercubeCorners(seed, n, d, delta), nil
+	case "circle":
+		return workload.Circle(seed, n, delta), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", gen)
+	}
+}
+
+func readPoints(path string) ([]vec.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pts []vec.Point
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+		p := make(vec.Point, 0, len(fields))
+		for _, fstr := range fields {
+			v, err := strconv.ParseFloat(fstr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+			}
+			p = append(p, v)
+		}
+		if len(pts) > 0 && len(p) != len(pts[0]) {
+			return nil, fmt.Errorf("%s:%d: dimension %d != %d", path, line, len(p), len(pts[0]))
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("%s: no points", path)
+	}
+	return vec.Dedup(pts), nil
+}

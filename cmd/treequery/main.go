@@ -1,0 +1,157 @@
+// Command treequery loads a tree embedding saved by `treembed -save` and
+// answers queries against it — the "store the compact representation,
+// compute later" workflow the paper motivates.
+//
+//	treequery -tree t.tree -stats
+//	treequery -tree t.tree -dist 3,17
+//	treequery -tree t.tree -mst
+//	treequery -tree t.tree -medoid
+//	treequery -tree t.tree -cut 50
+//	treequery -tree t.tree -emd "0:1,5:0.5" "9:1.5"
+//	treequery -tree t.tree -compress -out small.tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpctree/internal/hst"
+)
+
+func main() {
+	var (
+		treePath = flag.String("tree", "", "tree file written by treembed -save (required)")
+		stats    = flag.Bool("stats", false, "print tree statistics")
+		distPair = flag.String("dist", "", "tree distance between two point ids, e.g. 3,17")
+		mst      = flag.Bool("mst", false, "minimum spanning tree cost under the tree metric")
+		medoid   = flag.Bool("medoid", false, "1-median of the tree metric")
+		cut      = flag.Float64("cut", 0, "flat clustering at the given diameter scale")
+		compress = flag.Bool("compress", false, "merge unary chains (exact metric)")
+		out      = flag.String("out", "", "write the (possibly compressed) tree here")
+	)
+	flag.Parse()
+	if *treePath == "" {
+		fmt.Fprintln(os.Stderr, "treequery: -tree is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*treePath)
+	if err != nil {
+		fail(err)
+	}
+	tree, err := hst.ReadTree(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	if *compress {
+		before := tree.NumNodes()
+		tree = tree.Compress()
+		fmt.Printf("compressed: %d → %d nodes\n", before, tree.NumNodes())
+	}
+	if *stats {
+		fmt.Printf("points: %d, nodes: %d, height: %d, max level: %d\n",
+			tree.NumPoints(), tree.NumNodes(), tree.Height(), tree.MaxLevel())
+	}
+	if *distPair != "" {
+		parts := strings.Split(*distPair, ",")
+		if len(parts) != 2 {
+			fail(fmt.Errorf("bad -dist %q", *distPair))
+		}
+		i, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		j, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil || i < 0 || j < 0 || i >= tree.NumPoints() || j >= tree.NumPoints() {
+			fail(fmt.Errorf("bad -dist %q for %d points", *distPair, tree.NumPoints()))
+		}
+		fmt.Printf("dist_T(%d, %d) = %g\n", i, j, tree.Dist(i, j))
+	}
+	if *mst {
+		fmt.Printf("tree-metric MST cost: %g (%d edges)\n", tree.MSTCost(), tree.NumPoints()-1)
+	}
+	if *medoid {
+		p, total := tree.MedoidLeaf()
+		fmt.Printf("tree 1-median: point %d (total distance %g)\n", p, total)
+	}
+	if *cut > 0 {
+		labels := tree.CutAtScale(*cut)
+		k := 0
+		for _, l := range labels {
+			if l+1 > k {
+				k = l + 1
+			}
+		}
+		fmt.Printf("cut at scale %g: %d clusters\n", *cut, k)
+		sizes := make([]int, k)
+		for _, l := range labels {
+			sizes[l]++
+		}
+		fmt.Printf("cluster sizes: %v\n", sizes)
+	}
+	// Positional args: EMD between two sparse measures "idx:mass,idx:mass".
+	if flag.NArg() == 2 {
+		mu, err := parseMeasure(flag.Arg(0), tree.NumPoints())
+		if err != nil {
+			fail(err)
+		}
+		nu, err := parseMeasure(flag.Arg(1), tree.NumPoints())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("tree EMD = %g\n", tree.EMD(mu, nu))
+	}
+	if *out != "" {
+		g, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := tree.WriteTo(g); err != nil {
+			g.Close()
+			fail(err)
+		}
+		if err := g.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// parseMeasure reads "idx:mass,idx:mass,..." into a dense measure,
+// normalised to total mass 1.
+func parseMeasure(s string, n int) ([]float64, error) {
+	m := make([]float64, n)
+	var total float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, ":", 2)
+		idx, err := strconv.Atoi(strings.TrimSpace(kv[0]))
+		if err != nil || idx < 0 || idx >= n {
+			return nil, fmt.Errorf("bad measure entry %q", part)
+		}
+		mass := 1.0
+		if len(kv) == 2 {
+			mass, err = strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+			if err != nil || mass < 0 {
+				return nil, fmt.Errorf("bad mass in %q", part)
+			}
+		}
+		m[idx] += mass
+		total += mass
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("measure %q has no mass", s)
+	}
+	for i := range m {
+		m[i] /= total
+	}
+	return m, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "treequery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+package mpctree_test
+
+import (
+	"fmt"
+
+	"mpctree"
+	"mpctree/internal/workload"
+)
+
+// Embedding a point set and verifying the two Theorem-2 properties:
+// domination holds for every pair, and distances are finite and positive.
+func ExampleEmbed() {
+	points := workload.UniformLattice(7, 100, 4, 256)
+	tree, info, err := mpctree.Embed(points, mpctree.Options{Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	violations := 0
+	for i := range points {
+		for j := i + 1; j < len(points); j++ {
+			if tree.Dist(i, j) < mpctree.Dist(points[i], points[j]) {
+				violations++
+			}
+		}
+	}
+	fmt.Printf("points embedded: %d\n", info.N)
+	fmt.Printf("domination violations: %d\n", violations)
+	// Output:
+	// points embedded: 100
+	// domination violations: 0
+}
+
+// The approximate MST never beats the exact optimum (domination), and
+// spans all points.
+func ExampleApproxMST() {
+	points := workload.GaussianClusters(3, 120, 3, 4, 8, 1024)
+	tree, _, err := mpctree.Embed(points, mpctree.Options{Seed: 2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	edges := mpctree.ApproxMST(points, tree)
+	var approx float64
+	for _, e := range edges {
+		approx += e.Weight
+	}
+	var exact float64
+	for _, e := range mpctree.ExactMST(points) {
+		exact += e.Weight
+	}
+	fmt.Printf("edges: %d\n", len(edges))
+	fmt.Printf("approx beats optimum: %v\n", approx < exact)
+	// Output:
+	// edges: 119
+	// approx beats optimum: false
+}
+
+// Tree EMD is computed in one linear pass and never undershoots the
+// exact Earth-Mover distance.
+func ExampleApproxEMD() {
+	points := workload.UniformLattice(11, 40, 3, 128)
+	tree, _, err := mpctree.Embed(points, mpctree.Options{Seed: 3})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	n := len(points)
+	mu := make([]float64, n)
+	nu := make([]float64, n)
+	mu[0], nu[n-1] = 1, 1
+	approx := mpctree.ApproxEMD(tree, mu, nu)
+	exact, err := mpctree.ExactEMD(points, mu, nu)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("tree EMD at least exact EMD: %v\n", approx >= exact)
+	fmt.Printf("self distance: %v\n", mpctree.ApproxEMD(tree, mu, mu))
+	// Output:
+	// tree EMD at least exact EMD: true
+	// self distance: 0
+}
+
+// The persistent index answers out-of-sample queries: indexed points
+// locate themselves exactly.
+func ExampleNewEmbedder() {
+	points := workload.UniformLattice(13, 60, 4, 256)
+	index, err := mpctree.NewEmbedder(points, mpctree.Options{Seed: 4})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	self := 0
+	for i, p := range points {
+		if got, d := index.Refine(p); got == i && d == 0 {
+			self++
+		}
+	}
+	fmt.Printf("self-queries resolved exactly: %d/%d\n", self, len(points))
+	// Output:
+	// self-queries resolved exactly: 60/60
+}

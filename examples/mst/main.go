@@ -1,0 +1,53 @@
+// Approximate Euclidean minimum spanning tree via tree embedding
+// (Corollary 1 of the paper), compared against the exact MST.
+//
+// Scenario: a sensor network whose nodes cluster around a few hubs —
+// we want a cheap backbone connecting every sensor. The embedding gives
+// a spanning tree in near-linear time whose cost is within the
+// embedding's distortion of optimal; averaging the best of a few trees
+// closes most of the gap.
+//
+//	go run ./examples/mst
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpctree"
+	"mpctree/internal/workload"
+)
+
+func main() {
+	// 400 sensors around 6 hubs in a 4096×…×4096 field.
+	sensors := workload.GaussianClusters(9, 400, 3, 6, 60, 4096)
+
+	exact := mpctree.ExactMST(sensors)
+	var exactCost float64
+	for _, e := range exact {
+		exactCost += e.Weight
+	}
+	fmt.Printf("exact Euclidean MST: %d edges, cost %.1f (O(n²) Prim)\n", len(exact), exactCost)
+
+	best := -1.0
+	var sum float64
+	const trees = 10
+	for s := uint64(0); s < trees; s++ {
+		tree, _, err := mpctree.Embed(sensors, mpctree.Options{Seed: s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		edges := mpctree.ApproxMST(sensors, tree)
+		var cost float64
+		for _, e := range edges {
+			cost += e.Weight
+		}
+		sum += cost
+		if best < 0 || cost < best {
+			best = cost
+		}
+	}
+	fmt.Printf("tree-embedding MST over %d trees: mean cost %.1f (ratio %.3f), best %.1f (ratio %.3f)\n",
+		trees, sum/trees, sum/trees/exactCost, best, best/exactCost)
+	fmt.Println("the approximate tree never beats the optimum (domination) and lands within a small factor of it")
+}

@@ -1,0 +1,72 @@
+// Approximate nearest-neighbor search with a persistent embedding index.
+//
+// Scenario: a catalog of item feature vectors, queried with new vectors
+// as they arrive. The Embedder retains the hierarchy's random grids, so
+// a query descends the same partitioning the data did; the deepest
+// cluster it reaches yields candidates, and scanning just that cluster
+// replaces a full linear scan.
+//
+//	go run ./examples/nearest
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mpctree"
+	"mpctree/internal/rng"
+	"mpctree/internal/vec"
+	"mpctree/internal/workload"
+)
+
+func main() {
+	catalog := workload.GaussianClusters(3, 2000, 6, 20, 16, 1<<14)
+	fmt.Printf("catalog: %d items in %d dimensions\n", len(catalog), len(catalog[0]))
+
+	index, err := mpctree.NewEmbedder(catalog, mpctree.Options{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index built: %d tree nodes\n", index.Tree().NumNodes())
+
+	r := rng.New(99)
+	const queries = 200
+	var exactWins, within2, within8 int
+	var scanSpeedup float64
+	for qi := 0; qi < queries; qi++ {
+		// Query near a random catalog item (the realistic case: a new
+		// item resembling existing ones).
+		base := catalog[r.Intn(len(catalog))]
+		q := make(vec.Point, len(base))
+		for j := range q {
+			q[j] = base[j] + r.UniformRange(-2, 2)
+		}
+
+		got, gotD := index.Refine(q)
+		_ = got
+
+		// Ground truth by linear scan.
+		trueD := math.Inf(1)
+		for _, p := range catalog {
+			if d := mpctree.Dist(p, q); d < trueD {
+				trueD = d
+			}
+		}
+		switch {
+		case gotD <= trueD+1e-9:
+			exactWins++
+		case gotD <= 2*trueD:
+			within2++
+		case gotD <= 8*trueD:
+			within8++
+		}
+		scanSpeedup++
+	}
+	fmt.Printf("over %d queries near catalog items:\n", queries)
+	fmt.Printf("  exact nearest found: %d\n", exactWins)
+	fmt.Printf("  within 2× of nearest: %d more\n", within2)
+	fmt.Printf("  within 8× of nearest: %d more\n", within8)
+	fmt.Printf("  (averaging over several independent trees boosts the exact rate —\n")
+	fmt.Printf("   the embedding guarantee is in expectation over trees)\n")
+}

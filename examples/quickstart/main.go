@@ -1,0 +1,51 @@
+// Quickstart: embed a small point set into a tree metric and query it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpctree"
+	"mpctree/internal/workload"
+)
+
+func main() {
+	// 200 distinct integer points in [1, 512]^6 — the input model of the
+	// paper's Theorem 1 (aspect ratio poly(n)).
+	points := workload.UniformLattice(42, 200, 6, 512)
+
+	// Build one tree embedding with hybrid partitioning (the default).
+	tree, info, err := mpctree.Embed(points, mpctree.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("embedded %d points into a tree with %d nodes, %d levels (r=%d buckets)\n",
+		info.N, tree.NumNodes(), info.Levels, info.R)
+
+	// The tree metric dominates the Euclidean metric and approximates it
+	// in expectation. Inspect a few pairs:
+	for _, pair := range [][2]int{{0, 1}, {3, 99}, {50, 150}} {
+		i, j := pair[0], pair[1]
+		euclid := mpctree.Dist(points[i], points[j])
+		treeD := tree.Dist(i, j)
+		fmt.Printf("pair (%3d,%3d): euclidean %8.2f   tree %8.2f   ratio %5.2f\n",
+			i, j, euclid, treeD, treeD/euclid)
+	}
+
+	// Averaging over independent trees tightens the estimate — the
+	// guarantee is on E[dist_T], so applications that can average should.
+	i, j := 0, 1
+	var sum float64
+	const trees = 25
+	for s := uint64(0); s < trees; s++ {
+		t, _, err := mpctree.Embed(points, mpctree.Options{Seed: 100 + s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum += t.Dist(i, j)
+	}
+	fmt.Printf("pair (%d,%d): mean tree distance over %d trees = %.2f (euclidean %.2f)\n",
+		i, j, trees, sum/trees, mpctree.Dist(points[i], points[j]))
+}

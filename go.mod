@@ -1,0 +1,3 @@
+module mpctree
+
+go 1.23

@@ -1,0 +1,246 @@
+package apps
+
+import (
+	"testing"
+
+	"mpctree/internal/core"
+	"mpctree/internal/hst"
+	"mpctree/internal/rng"
+	"mpctree/internal/vec"
+)
+
+func latticePts(t testing.TB, seed uint64, n, d, delta int) []vec.Point {
+	t.Helper()
+	r := rng.New(seed)
+	seen := map[string]bool{}
+	pts := make([]vec.Point, 0, n)
+	for len(pts) < n {
+		p := make(vec.Point, d)
+		key := ""
+		for j := range p {
+			v := 1 + r.Intn(delta)
+			p[j] = float64(v)
+			key += string(rune(v)) + ","
+		}
+		if !seen[key] {
+			seen[key] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func embed(t testing.TB, pts []vec.Point, seed uint64) *hst.Tree {
+	t.Helper()
+	tr, _, err := core.Embed(pts, core.Options{Method: core.MethodHybrid, R: 2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestExactMSTKnown(t *testing.T) {
+	// Collinear points: MST is the chain, cost = range.
+	pts := []vec.Point{{0, 0}, {1, 0}, {3, 0}, {7, 0}}
+	if got := ExactMSTCost(pts); got != 7 {
+		t.Errorf("ExactMSTCost = %v, want 7", got)
+	}
+	edges := ExactMST(pts)
+	if !IsSpanningTree(4, edges) {
+		t.Error("ExactMST not a spanning tree")
+	}
+}
+
+func TestExactMSTTinyInputs(t *testing.T) {
+	if got := ExactMST(nil); got != nil {
+		t.Error("empty MST not nil")
+	}
+	if got := ExactMST([]vec.Point{{1, 2}}); got != nil {
+		t.Error("singleton MST not nil")
+	}
+}
+
+func TestTreeMSTIsSpanningAndDominates(t *testing.T) {
+	pts := latticePts(t, 1, 80, 3, 64)
+	tr := embed(t, pts, 7)
+	edges := TreeMST(pts, tr)
+	if !IsSpanningTree(len(pts), edges) {
+		t.Fatal("TreeMST not a spanning tree")
+	}
+	exact := ExactMSTCost(pts)
+	approx := SpanningCost(edges)
+	if approx < exact-1e-9 {
+		t.Fatalf("approx MST %v below optimum %v", approx, exact)
+	}
+}
+
+// Corollary 1 MST shape: the tree-derived MST should be within a modest
+// factor of optimal in expectation (theory: O(log^1.5 n); empirically much
+// smaller).
+func TestTreeMSTApproxRatio(t *testing.T) {
+	pts := latticePts(t, 2, 100, 3, 128)
+	exact := ExactMSTCost(pts)
+	var sum float64
+	const trees = 10
+	for s := 0; s < trees; s++ {
+		sum += TreeMSTCost(pts, embed(t, pts, uint64(s)))
+	}
+	ratio := sum / trees / exact
+	if ratio < 1 {
+		t.Fatalf("mean ratio %v below 1", ratio)
+	}
+	if ratio > 12 {
+		t.Errorf("mean MST ratio %v implausibly large", ratio)
+	}
+}
+
+func TestIsSpanningTreeRejects(t *testing.T) {
+	if IsSpanningTree(3, []Edge{{A: 0, B: 1}}) {
+		t.Error("too few edges accepted")
+	}
+	if IsSpanningTree(3, []Edge{{A: 0, B: 1}, {A: 0, B: 1}}) {
+		t.Error("cycle accepted")
+	}
+	if IsSpanningTree(3, []Edge{{A: 0, B: 1}, {A: 0, B: 9}}) {
+		t.Error("out-of-range accepted")
+	}
+	if !IsSpanningTree(0, nil) {
+		t.Error("empty rejected")
+	}
+}
+
+func TestTreeEMDDominatesExact(t *testing.T) {
+	pts := latticePts(t, 3, 40, 3, 64)
+	n := len(pts)
+	r := rng.New(5)
+	mu := make([]float64, n)
+	nu := make([]float64, n)
+	var sm, sn float64
+	for i := 0; i < n; i++ {
+		mu[i] = r.Float64()
+		nu[i] = r.Float64()
+		sm += mu[i]
+		sn += nu[i]
+	}
+	for i := range nu {
+		mu[i] /= sm
+		nu[i] /= sn
+	}
+	exact, err := ExactEMD(pts, mu, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const trees = 8
+	for s := 0; s < trees; s++ {
+		te := TreeEMD(embed(t, pts, uint64(s)), mu, nu)
+		if te < exact-1e-6 {
+			t.Fatalf("tree EMD %v below exact %v (domination)", te, exact)
+		}
+		sum += te
+	}
+	ratio := sum / trees / exact
+	if ratio > 25 {
+		t.Errorf("mean EMD ratio %v implausibly large", ratio)
+	}
+}
+
+func TestExactDensestBallKnown(t *testing.T) {
+	// A tight cluster of 5 plus scattered singletons.
+	pts := []vec.Point{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.5, 0.5},
+		{100, 100}, {200, 50}, {50, 200},
+	}
+	res := ExactDensestBall(pts, 4)
+	if res.Count != 5 {
+		t.Errorf("densest ball count = %d, want 5", res.Count)
+	}
+	res2 := ExactDensestBall(pts, 0.1)
+	if res2.Count != 1 {
+		t.Errorf("tiny-D count = %d, want 1", res2.Count)
+	}
+}
+
+func TestDensestBallTreeBicriteria(t *testing.T) {
+	// Planted dense cluster: 30 points in a ball of diameter ~4, 30 spread
+	// over a 1000-wide box.
+	r := rng.New(9)
+	var pts []vec.Point
+	for i := 0; i < 30; i++ {
+		pts = append(pts, vec.Point{500 + r.UniformRange(-1, 1), 500 + r.UniformRange(-1, 1), 500 + r.UniformRange(-1, 1)})
+	}
+	for i := 0; i < 30; i++ {
+		pts = append(pts, vec.Point{r.UniformRange(0, 1000), r.UniformRange(0, 1000), r.UniformRange(0, 1000)})
+	}
+	pts = vec.Dedup(pts)
+	D := 4.0
+	opt := ExactDensestBall(pts, D)
+	if opt.Count < 25 {
+		t.Fatalf("planted cluster not found by exact: %d", opt.Count)
+	}
+	// With enough diameter slack the tree must capture nearly the whole
+	// planted cluster in most trees.
+	good := 0
+	const trees = 10
+	for s := 0; s < trees; s++ {
+		tr := embed(t, pts, uint64(s))
+		res := DensestBallTree(tr, D, 256)
+		if res.Count >= int(0.8*float64(opt.Count)) {
+			good++
+		}
+		if res.Node >= 0 && res.Count > 1 {
+			members := ClusterMembers(tr, res.Node)
+			if len(members) != res.Count {
+				t.Fatalf("member list size %d != count %d", len(members), res.Count)
+			}
+			if diam := TrueDiameter(pts, members); diam > res.DiameterBound+1e-9 {
+				t.Fatalf("true diameter %v exceeds bound %v", diam, res.DiameterBound)
+			}
+		}
+	}
+	if good < trees/2 {
+		t.Errorf("only %d/%d trees captured ≥80%% of the planted cluster", good, trees)
+	}
+}
+
+func TestDensestBallTreeMonotoneInBeta(t *testing.T) {
+	pts := latticePts(t, 10, 60, 3, 64)
+	tr := embed(t, pts, 3)
+	prev := 0
+	for _, beta := range []float64{0.5, 1, 2, 4, 16, 64, 1024} {
+		res := DensestBallTree(tr, 2, beta)
+		if res.Count < prev {
+			t.Fatalf("count decreased as beta grew: %d after %d", res.Count, prev)
+		}
+		prev = res.Count
+	}
+	if prev != len(pts) {
+		t.Errorf("with huge beta the root cluster (all %d points) should win; got %d", len(pts), prev)
+	}
+}
+
+func TestDensestBallTreeTinyBetaFallsBack(t *testing.T) {
+	pts := latticePts(t, 11, 20, 3, 64)
+	tr := embed(t, pts, 4)
+	res := DensestBallTree(tr, 0.001, 0.001)
+	if res.Count != 1 {
+		t.Errorf("tiny beta·D should fall back to a single leaf, got %d", res.Count)
+	}
+}
+
+func BenchmarkExactMST(b *testing.B) {
+	pts := latticePts(b, 1, 300, 3, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExactMSTCost(pts)
+	}
+}
+
+func BenchmarkTreeMST(b *testing.B) {
+	pts := latticePts(b, 1, 300, 3, 1024)
+	tr := embed(b, pts, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TreeMSTCost(pts, tr)
+	}
+}

@@ -1,0 +1,204 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"mpctree/internal/hst"
+	"mpctree/internal/vec"
+)
+
+// Clustering assigns each point a cluster id in [0, K).
+type Clustering struct {
+	K      int
+	Labels []int
+}
+
+// clustersFromEdges builds a k-clustering by union-find over a spanning
+// tree with its k−1 heaviest edges removed — the classic single-linkage
+// construction.
+func clustersFromEdges(n int, edges []Edge, k int) Clustering {
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("apps: k=%d out of [1, n=%d]", k, n))
+	}
+	sorted := append([]Edge(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Weight < sorted[j].Weight })
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	// Keep the n−k lightest edges.
+	keep := len(sorted) - (k - 1)
+	for i := 0; i < keep; i++ {
+		parent[find(sorted[i].A)] = find(sorted[i].B)
+	}
+	labels := make([]int, n)
+	next := 0
+	id := map[int]int{}
+	for i := range labels {
+		root := find(i)
+		if _, ok := id[root]; !ok {
+			id[root] = next
+			next++
+		}
+		labels[i] = id[root]
+	}
+	return Clustering{K: next, Labels: labels}
+}
+
+// SingleLinkageExact computes the exact Euclidean single-linkage
+// k-clustering (cut the k−1 heaviest MST edges) in O(n²·d).
+func SingleLinkageExact(pts []vec.Point, k int) Clustering {
+	return clustersFromEdges(len(pts), ExactMST(pts), k)
+}
+
+// SingleLinkageTree computes an approximate single-linkage k-clustering
+// from a tree embedding: the spanning edges come from the tree's MST,
+// re-weighted with true Euclidean distances. Single-linkage under ℓp in
+// MPC is exactly the application [56] studies (and conditions the
+// paper's lower-bound discussion on); the embedding route inherits the
+// tree's distortion on the cut scales.
+func SingleLinkageTree(pts []vec.Point, t *hst.Tree, k int) Clustering {
+	return clustersFromEdges(len(pts), TreeMST(pts, t), k)
+}
+
+// KCenterResult is a bicriteria k-center answer.
+type KCenterResult struct {
+	Centers []int   // chosen center point indices
+	Radius  float64 // max distance of any point to its center
+}
+
+// KCenterGreedy is the classic Gonzalez 2-approximation for Euclidean
+// k-center — the exact-side baseline (O(n·k·d)).
+func KCenterGreedy(pts []vec.Point, k int) KCenterResult {
+	n := len(pts)
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("apps: k=%d out of [1, n=%d]", k, n))
+	}
+	centers := []int{0}
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = vec.Dist(pts[i], pts[0])
+	}
+	for len(centers) < k {
+		far := 0
+		for i := 1; i < n; i++ {
+			if dist[i] > dist[far] {
+				far = i
+			}
+		}
+		centers = append(centers, far)
+		for i := range dist {
+			if d := vec.Dist(pts[i], pts[far]); d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+	radius := 0.0
+	for _, d := range dist {
+		if d > radius {
+			radius = d
+		}
+	}
+	return KCenterResult{Centers: centers, Radius: radius}
+}
+
+// KCenterTree answers k-center from a tree embedding: walk the hierarchy
+// top-down, always splitting the cluster with the largest diameter bound,
+// until k clusters exist; each cluster's medoid-ish representative (its
+// first leaf) is the center. The radius is within the embedding's
+// distortion of optimal in expectation.
+func KCenterTree(pts []vec.Point, t *hst.Tree, k int) KCenterResult {
+	n := t.NumPoints()
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("apps: k=%d out of [1, n=%d]", k, n))
+	}
+	bounds := t.SubtreeLeafDiameterBound()
+	counts := t.SubtreeCounts()
+	// Active cluster set: start at the root, repeatedly replace the
+	// active node with the largest diameter bound by its children (that
+	// contain leaves).
+	active := []int{0}
+	for len(active) < k {
+		// Pick the active node with the largest bound that can split.
+		best := -1
+		for idx, v := range active {
+			if len(t.Nodes[v].Children) == 0 {
+				continue
+			}
+			if best == -1 || bounds[v] > bounds[active[best]] {
+				best = idx
+			}
+		}
+		if best == -1 {
+			break // all singletons
+		}
+		v := active[best]
+		active = append(active[:best], active[best+1:]...)
+		for _, c := range t.Nodes[v].Children {
+			if counts[c] > 0 {
+				active = append(active, c)
+			}
+		}
+	}
+	// Trim if splitting overshot k (a node can have many children).
+	sort.Slice(active, func(i, j int) bool { return counts[active[i]] > counts[active[j]] })
+	if len(active) > k {
+		// Merge smallest extras into their closest remaining cluster by
+		// simply assigning their points during the radius pass below;
+		// centers come from the top k clusters.
+		active = active[:k]
+	}
+	centers := make([]int, 0, len(active))
+	for _, v := range active {
+		members := ClusterMembers(t, v)
+		centers = append(centers, members[0])
+	}
+	// Radius against the TRUE metric.
+	radius := 0.0
+	for i := 0; i < n; i++ {
+		best := -1.0
+		for _, c := range centers {
+			if d := vec.Dist(pts[i], pts[c]); best < 0 || d < best {
+				best = d
+			}
+		}
+		if best > radius {
+			radius = best
+		}
+	}
+	return KCenterResult{Centers: centers, Radius: radius}
+}
+
+// AgreementFraction measures how similar two clusterings are: the
+// fraction of point pairs on whose co-membership both agree (Rand index).
+func AgreementFraction(a, b Clustering) float64 {
+	n := len(a.Labels)
+	if n != len(b.Labels) {
+		panic("apps: clusterings over different point counts")
+	}
+	if n < 2 {
+		return 1
+	}
+	agree := 0
+	total := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameA := a.Labels[i] == a.Labels[j]
+			sameB := b.Labels[i] == b.Labels[j]
+			if sameA == sameB {
+				agree++
+			}
+			total++
+		}
+	}
+	return float64(agree) / float64(total)
+}

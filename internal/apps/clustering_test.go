@@ -1,0 +1,146 @@
+package apps
+
+import (
+	"testing"
+
+	"mpctree/internal/rng"
+	"mpctree/internal/vec"
+	"mpctree/internal/workload"
+)
+
+// wellSeparated builds k tight blobs far apart, returning points and
+// ground-truth labels.
+func wellSeparated(seed uint64, k, per int) ([]vec.Point, []int) {
+	r := rng.New(seed)
+	var pts []vec.Point
+	var labels []int
+	for c := 0; c < k; c++ {
+		cx := float64(c*10000 + 5000)
+		for i := 0; i < per; i++ {
+			pts = append(pts, vec.Point{cx + r.UniformRange(-20, 20), cx + r.UniformRange(-20, 20)})
+			labels = append(labels, c)
+		}
+	}
+	return pts, labels
+}
+
+func sameClustering(labels []int, c Clustering) bool {
+	n := len(labels)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if (labels[i] == labels[j]) != (c.Labels[i] == c.Labels[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSingleLinkageExactRecoversBlobs(t *testing.T) {
+	pts, truth := wellSeparated(1, 4, 25)
+	got := SingleLinkageExact(pts, 4)
+	if got.K != 4 {
+		t.Fatalf("K = %d", got.K)
+	}
+	if !sameClustering(truth, got) {
+		t.Fatal("exact single-linkage failed on well-separated blobs")
+	}
+}
+
+func TestSingleLinkageTreeRecoversBlobs(t *testing.T) {
+	pts, truth := wellSeparated(2, 3, 30)
+	good := 0
+	const trees = 8
+	for s := uint64(0); s < trees; s++ {
+		tr := embed(t, pts, s)
+		got := SingleLinkageTree(pts, tr, 3)
+		if sameClustering(truth, got) {
+			good++
+		}
+	}
+	// Well-separated blobs must be recovered by a large majority of trees
+	// (the scales differ by 250×; a cut at the wrong scale is very rare).
+	if good < trees*3/4 {
+		t.Fatalf("only %d/%d trees recovered the blobs", good, trees)
+	}
+}
+
+func TestSingleLinkageEdgeCases(t *testing.T) {
+	pts, _ := wellSeparated(3, 2, 5)
+	// k=1: everything together.
+	c1 := SingleLinkageExact(pts, 1)
+	if c1.K != 1 {
+		t.Errorf("k=1 produced %d clusters", c1.K)
+	}
+	// k=n: all singletons.
+	cn := SingleLinkageExact(pts, len(pts))
+	if cn.K != len(pts) {
+		t.Errorf("k=n produced %d clusters", cn.K)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 accepted")
+		}
+	}()
+	SingleLinkageExact(pts, 0)
+}
+
+func TestKCenterGreedy(t *testing.T) {
+	pts, _ := wellSeparated(4, 3, 20)
+	res := KCenterGreedy(pts, 3)
+	if len(res.Centers) != 3 {
+		t.Fatalf("%d centers", len(res.Centers))
+	}
+	// With one center per blob the radius is the blob scale (≤ ~60),
+	// not the inter-blob scale (~14000).
+	if res.Radius > 100 {
+		t.Errorf("greedy k-center radius %v — blobs not separated", res.Radius)
+	}
+}
+
+func TestKCenterTreeComparable(t *testing.T) {
+	pts, _ := wellSeparated(5, 3, 20)
+	greedy := KCenterGreedy(pts, 3)
+	good := 0
+	const trees = 8
+	for s := uint64(0); s < trees; s++ {
+		tr := embed(t, pts, s)
+		res := KCenterTree(pts, tr, 3)
+		if len(res.Centers) == 0 || res.Radius <= 0 {
+			t.Fatalf("degenerate tree k-center: %+v", res)
+		}
+		if res.Radius <= 20*greedy.Radius {
+			good++
+		}
+	}
+	if good < trees/2 {
+		t.Errorf("tree k-center within 20× of greedy in only %d/%d trees", good, trees)
+	}
+}
+
+func TestKCenterPanics(t *testing.T) {
+	pts := workload.UniformLattice(6, 10, 2, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("k>n accepted")
+		}
+	}()
+	KCenterGreedy(pts, 11)
+}
+
+func TestAgreementFraction(t *testing.T) {
+	a := Clustering{K: 2, Labels: []int{0, 0, 1, 1}}
+	if got := AgreementFraction(a, a); got != 1 {
+		t.Errorf("self agreement = %v", got)
+	}
+	b := Clustering{K: 2, Labels: []int{0, 1, 0, 1}}
+	got := AgreementFraction(a, b)
+	if got >= 1 || got <= 0 {
+		t.Errorf("cross agreement = %v", got)
+	}
+	// Relabelling does not change agreement.
+	c := Clustering{K: 2, Labels: []int{1, 1, 0, 0}}
+	if got := AgreementFraction(a, c); got != 1 {
+		t.Errorf("relabelled agreement = %v", got)
+	}
+}

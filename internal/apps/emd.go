@@ -1,0 +1,22 @@
+package apps
+
+import (
+	"mpctree/internal/flow"
+	"mpctree/internal/hst"
+	"mpctree/internal/vec"
+)
+
+// TreeEMD approximates the Earth-Mover distance between measures mu and nu
+// on the point set using the tree embedding: optimal transport on a tree
+// is computed exactly in linear time (imbalance routed over each edge), so
+// the result approximates the Euclidean EMD within the embedding's
+// distortion and, by domination, never falls below it.
+func TreeEMD(t *hst.Tree, mu, nu []float64) float64 {
+	return t.EMD(mu, nu)
+}
+
+// ExactEMD computes the exact Euclidean Earth-Mover distance via min-cost
+// flow (O(n³)-ish; baseline for small experiment instances).
+func ExactEMD(pts []vec.Point, mu, nu []float64) (float64, error) {
+	return flow.EMD(mu, nu, func(i, j int) float64 { return vec.Dist(pts[i], pts[j]) })
+}

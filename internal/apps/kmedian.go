@@ -1,0 +1,169 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"mpctree/internal/hst"
+	"mpctree/internal/vec"
+)
+
+// k-median: pick k centers among the points minimising the sum of
+// point-to-nearest-center distances. Historically THE application of tree
+// embeddings — Bartal's and FRT's approximation factors transferred
+// directly to k-median (the paper's introduction credits FRT with "the
+// first polylogarithmic approximation for the k-median problem").
+//
+// Here the embedding plays accelerator: a tree-seeded start (medoids of
+// the k-cluster cut of the hierarchy) drops into classic local search,
+// which then needs far fewer swaps than a cold start — and the final
+// cost is the exact Euclidean objective either way.
+
+// KMedianCost returns the k-median objective of the given centers.
+func KMedianCost(pts []vec.Point, centers []int) float64 {
+	var total float64
+	for i := range pts {
+		best := math.Inf(1)
+		for _, c := range centers {
+			if d := vec.Dist(pts[i], pts[c]); d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+// KMedianResult reports a k-median solution and how it was reached.
+type KMedianResult struct {
+	Centers []int
+	Cost    float64
+	Swaps   int // improving swaps local search performed
+}
+
+// KMedianLocalSearch runs single-swap local search from the given initial
+// centers until no improving swap exists or maxSwaps is hit. O(swaps ·
+// n·k·(n−k)) — a baseline for experiment scales.
+func KMedianLocalSearch(pts []vec.Point, initial []int, maxSwaps int) KMedianResult {
+	n := len(pts)
+	k := len(initial)
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("apps: k=%d out of [1, n=%d]", k, n))
+	}
+	centers := append([]int(nil), initial...)
+	inC := make([]bool, n)
+	for _, c := range centers {
+		inC[c] = true
+	}
+	cost := KMedianCost(pts, centers)
+	swaps := 0
+	for swaps < maxSwaps {
+		improved := false
+		for ci := 0; ci < k && !improved; ci++ {
+			old := centers[ci]
+			for cand := 0; cand < n && !improved; cand++ {
+				if inC[cand] {
+					continue
+				}
+				centers[ci] = cand
+				if c2 := KMedianCost(pts, centers); c2 < cost-1e-12 {
+					cost = c2
+					inC[old] = false
+					inC[cand] = true
+					improved = true
+					swaps++
+				} else {
+					centers[ci] = old
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return KMedianResult{Centers: centers, Cost: cost, Swaps: swaps}
+}
+
+// TreeSeedKMedian derives initial centers from a tree embedding: split
+// the hierarchy top-down into k clusters (largest diameter first, as
+// KCenterTree does) and take each cluster's tree-medoid. The centers are
+// already near locally-optimal positions, so subsequent local search
+// converges in few swaps.
+func TreeSeedKMedian(pts []vec.Point, t *hst.Tree, k int) []int {
+	n := t.NumPoints()
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("apps: k=%d out of [1, n=%d]", k, n))
+	}
+	bounds := t.SubtreeLeafDiameterBound()
+	counts := t.SubtreeCounts()
+	active := []int{0}
+	for len(active) < k {
+		best := -1
+		for idx, v := range active {
+			if len(t.Nodes[v].Children) == 0 {
+				continue
+			}
+			if best == -1 || bounds[v] > bounds[active[best]] {
+				best = idx
+			}
+		}
+		if best == -1 {
+			break
+		}
+		v := active[best]
+		active = append(active[:best], active[best+1:]...)
+		for _, c := range t.Nodes[v].Children {
+			if counts[c] > 0 {
+				active = append(active, c)
+			}
+		}
+	}
+	if len(active) > k {
+		// Keep the k most populous clusters; the rest merge implicitly.
+		for i := 0; i < len(active); i++ {
+			for j := i + 1; j < len(active); j++ {
+				if counts[active[j]] > counts[active[i]] {
+					active[i], active[j] = active[j], active[i]
+				}
+			}
+		}
+		active = active[:k]
+	}
+	centers := make([]int, 0, k)
+	for _, v := range active {
+		centers = append(centers, clusterMedoid(pts, ClusterMembers(t, v)))
+	}
+	// Top up with farthest points if splitting ran out of clusters.
+	for len(centers) < k {
+		far, farD := -1, -1.0
+		for i := range pts {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := vec.Dist(pts[i], pts[c]); d < best {
+					best = d
+				}
+			}
+			if best > farD {
+				far, farD = i, best
+			}
+		}
+		centers = append(centers, far)
+	}
+	return centers
+}
+
+// clusterMedoid returns the member minimising the within-cluster
+// Euclidean distance sum.
+func clusterMedoid(pts []vec.Point, members []int) int {
+	best, bestSum := members[0], math.Inf(1)
+	for _, c := range members {
+		var s float64
+		for _, m := range members {
+			s += vec.Dist(pts[c], pts[m])
+		}
+		if s < bestSum {
+			best, bestSum = c, s
+		}
+	}
+	return best
+}

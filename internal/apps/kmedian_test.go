@@ -1,0 +1,107 @@
+package apps
+
+import (
+	"testing"
+
+	"mpctree/internal/vec"
+	"mpctree/internal/workload"
+)
+
+func TestKMedianCost(t *testing.T) {
+	pts := wellSeparatedPts(t)
+	// One center in each blob vs one center total.
+	c3 := []int{0, 25, 50}
+	c1 := []int{0}
+	if KMedianCost(pts, c3) >= KMedianCost(pts, c1) {
+		t.Fatal("3 well-placed centers not cheaper than 1")
+	}
+}
+
+func wellSeparatedPts(t *testing.T) []vec.Point {
+	t.Helper()
+	ps, _ := wellSeparated(7, 3, 25)
+	return ps
+}
+
+func TestLocalSearchImproves(t *testing.T) {
+	pts, _ := wellSeparated(8, 3, 25)
+	// Terrible start: three centers in the same blob.
+	bad := []int{0, 1, 2}
+	res := KMedianLocalSearch(pts, bad, 100)
+	if res.Cost >= KMedianCost(pts, bad) {
+		t.Fatal("local search did not improve a bad start")
+	}
+	// The optimal-ish layout has one center per blob; local search from a
+	// bad start must reach within 2× of the greedy-from-tree solution.
+	if res.Swaps == 0 {
+		t.Fatal("no swaps recorded")
+	}
+}
+
+func TestLocalSearchRespectsMaxSwaps(t *testing.T) {
+	pts, _ := wellSeparated(9, 4, 20)
+	res := KMedianLocalSearch(pts, []int{0, 1, 2, 3}, 1)
+	if res.Swaps > 1 {
+		t.Fatalf("performed %d swaps with budget 1", res.Swaps)
+	}
+}
+
+func TestLocalSearchPanics(t *testing.T) {
+	pts := workload.UniformLattice(10, 10, 2, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 accepted")
+		}
+	}()
+	KMedianLocalSearch(pts, nil, 10)
+}
+
+// The headline property: tree seeding lands near a local optimum, so the
+// follow-up local search needs (usually far) fewer swaps than a cold
+// start, and ends at a cost no worse than ~the cold-start result.
+func TestTreeSeedingAcceleratesLocalSearch(t *testing.T) {
+	pts, _ := wellSeparated(11, 4, 25)
+	const k = 4
+	cold := KMedianLocalSearch(pts, []int{0, 1, 2, 3}, 1000)
+
+	betterOrFewer := 0
+	const trees = 6
+	for s := uint64(0); s < trees; s++ {
+		tr := embed(t, pts, s)
+		seed := TreeSeedKMedian(pts, tr, k)
+		if len(seed) != k {
+			t.Fatalf("seed has %d centers", len(seed))
+		}
+		warm := KMedianLocalSearch(pts, seed, 1000)
+		if warm.Cost <= cold.Cost*1.05 && warm.Swaps <= cold.Swaps {
+			betterOrFewer++
+		}
+	}
+	if betterOrFewer < trees/2 {
+		t.Errorf("tree seeding helped in only %d/%d trees", betterOrFewer, trees)
+	}
+}
+
+func TestTreeSeedKMedianShapes(t *testing.T) {
+	pts := workload.GaussianClusters(12, 80, 3, 4, 3, 512)
+	tr := embed(t, pts, 3)
+	for _, k := range []int{1, 2, 5, 10} {
+		seed := TreeSeedKMedian(pts, tr, k)
+		if len(seed) != k {
+			t.Fatalf("k=%d: got %d centers", k, len(seed))
+		}
+		seen := map[int]bool{}
+		for _, c := range seed {
+			if c < 0 || c >= len(pts) || seen[c] {
+				t.Fatalf("k=%d: bad or duplicate center %d", k, c)
+			}
+			seen[c] = true
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k>n accepted")
+		}
+	}()
+	TreeSeedKMedian(pts, tr, len(pts)+1)
+}

@@ -1,0 +1,134 @@
+// Package apps implements the three applications of Corollary 1 — minimum
+// spanning tree, Earth-Mover distance, and densest ball — each in two
+// forms: the tree-embedding-based O(log^1.5 n)-approximation the paper
+// derives, and an exact (brute-force or flow-based) baseline used as
+// ground truth in the approximation-ratio experiments.
+package apps
+
+import (
+	"math"
+
+	"mpctree/internal/hst"
+	"mpctree/internal/vec"
+)
+
+// Edge is a weighted edge between data points.
+type Edge struct {
+	A, B   int
+	Weight float64
+}
+
+// ExactMST computes the exact Euclidean minimum spanning tree with Prim's
+// algorithm in O(n²·d) — the comparator for the Corollary 1 MST
+// experiment.
+func ExactMST(pts []vec.Point) []Edge {
+	n := len(pts)
+	if n < 2 {
+		return nil
+	}
+	inTree := make([]bool, n)
+	dist := make([]float64, n)
+	from := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[0] = 0
+	from[0] = -1
+	edges := make([]Edge, 0, n-1)
+	for iter := 0; iter < n; iter++ {
+		best := -1
+		for i := 0; i < n; i++ {
+			if !inTree[i] && (best == -1 || dist[i] < dist[best]) {
+				best = i
+			}
+		}
+		inTree[best] = true
+		if from[best] >= 0 {
+			edges = append(edges, Edge{A: from[best], B: best, Weight: dist[best]})
+		}
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := vec.Dist(pts[best], pts[i]); d < dist[i] {
+					dist[i] = d
+					from[i] = best
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// ExactMSTCost returns the total weight of the exact Euclidean MST.
+func ExactMSTCost(pts []vec.Point) float64 {
+	var s float64
+	for _, e := range ExactMST(pts) {
+		s += e.Weight
+	}
+	return s
+}
+
+// TreeMST computes a spanning tree of the points using the tree embedding:
+// the MST under the tree metric, with each edge re-weighted by the TRUE
+// Euclidean distance of its endpoints (the standard way a tree embedding
+// solves MST: the edge set comes from the tree, the cost is genuine).
+// Expected cost is within the embedding's distortion of the optimum, and
+// never below it.
+func TreeMST(pts []vec.Point, t *hst.Tree) []Edge {
+	edges := t.MST()
+	out := make([]Edge, len(edges))
+	for i, e := range edges {
+		out[i] = Edge{A: e.A, B: e.B, Weight: vec.Dist(pts[e.A], pts[e.B])}
+	}
+	return out
+}
+
+// TreeMSTCost returns the Euclidean cost of TreeMST.
+func TreeMSTCost(pts []vec.Point, t *hst.Tree) float64 {
+	var s float64
+	for _, e := range TreeMST(pts, t) {
+		s += e.Weight
+	}
+	return s
+}
+
+// SpanningCost sums edge weights.
+func SpanningCost(edges []Edge) float64 {
+	var s float64
+	for _, e := range edges {
+		s += e.Weight
+	}
+	return s
+}
+
+// IsSpanningTree verifies that edges form a spanning tree over n points.
+func IsSpanningTree(n int, edges []Edge) bool {
+	if n == 0 {
+		return len(edges) == 0
+	}
+	if len(edges) != n-1 {
+		return false
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		if e.A < 0 || e.A >= n || e.B < 0 || e.B >= n {
+			return false
+		}
+		ra, rb := find(e.A), find(e.B)
+		if ra == rb {
+			return false // cycle
+		}
+		parent[ra] = rb
+	}
+	return true
+}

@@ -1,0 +1,355 @@
+// Embedder: a persistent embedding index. Where Embed produces just the
+// tree, NewEmbedder additionally retains the random grids that defined
+// every level's partitioning, so that *out-of-sample* query points can be
+// located in the hierarchy afterwards — the "compact representation of a
+// high-dimensional dataset" use the paper motivates, turned into an
+// approximate-nearest-neighbor index: a query descends the tree through
+// the same grid assignments as the data did, and the deepest non-empty
+// cluster it reaches yields candidate neighbors whose tree distance to
+// the query is bounded by that cluster's diameter.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mpctree/internal/grid"
+	"mpctree/internal/hst"
+	"mpctree/internal/partition"
+	"mpctree/internal/rng"
+	"mpctree/internal/vec"
+)
+
+// Embedder is an immutable embedding index over a fixed point set.
+type Embedder struct {
+	opt        Options
+	method     Method
+	pts        []vec.Point // working (padded) copy
+	origDim    int
+	r          int
+	levels     int
+	diam       float64
+	diamFactor float64
+	// grids[lev-1][j] is the ordered grid sequence of level lev, bucket j
+	// (one entry, one grid for the grid method).
+	grids     [][][]grid.Grid
+	tree      *hst.Tree
+	childByID []map[string]int
+	repLeaf   []int
+}
+
+// NewEmbedder builds the embedding and retains its structures. Options
+// semantics match Embed.
+func NewEmbedder(pts []vec.Point, opt Options) (*Embedder, error) {
+	n := len(pts)
+	if n == 0 {
+		return nil, errors.New("core: empty point set")
+	}
+	d := len(pts[0])
+	if d == 0 {
+		return nil, errors.New("core: zero-dimensional points")
+	}
+	for i, p := range pts {
+		if len(p) != d {
+			return nil, fmt.Errorf("core: point %d has dimension %d, want %d", i, len(p), d)
+		}
+	}
+	r := 1
+	switch opt.Method {
+	case MethodHybrid:
+		r = opt.R
+		if r == 0 {
+			fp := opt.FailProb
+			if fp == 0 {
+				fp = min(1e-4, 1/float64(n*n+1))
+			}
+			for r = autoR(n, d); r < d; r++ {
+				if partition.HybridGridBound((d+r-1)/r, n, r, 48, fp) <= maxPracticalGrids {
+					break
+				}
+			}
+		}
+		if r < 1 || r > d {
+			return nil, fmt.Errorf("core: r=%d out of [1, d=%d]", r, d)
+		}
+	case MethodBall:
+		r = 1
+	case MethodGrid:
+		r = 1
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", opt.Method)
+	}
+
+	work := pts
+	if opt.Method != MethodGrid && d%r != 0 {
+		work = vec.PadPointsToMultiple(pts, r)
+	}
+	wd := len(work[0])
+
+	diam := opt.Diameter
+	if diam == 0 {
+		diam = vec.Bounds(work).Diameter()
+	}
+	if diam == 0 {
+		if n > 1 {
+			return nil, errors.New("core: points are not distinct (diameter 0)")
+		}
+		b := hst.NewBuilder(1)
+		b.AddLeaf(b.Root(), 0, 1, 0)
+		return &Embedder{
+			opt: opt, method: opt.Method, pts: work, origDim: d, r: r,
+			tree:      b.Finish(),
+			childByID: []map[string]int{nil, nil},
+			repLeaf:   []int{0, 0},
+		}, nil
+	}
+	minDist := opt.MinDist
+	if minDist == 0 {
+		minDist = vec.MinPairwiseDist(work)
+		if math.IsInf(minDist, 1) {
+			minDist = diam
+		}
+	}
+	var diamFactor float64
+	if opt.Method == MethodGrid {
+		diamFactor = math.Sqrt(float64(wd))
+	} else {
+		diamFactor = 2 * math.Sqrt(float64(r))
+	}
+	maxLevels := opt.MaxLevels
+	if maxLevels == 0 {
+		maxLevels = 64
+	}
+	levels := 1
+	for w := diam / 2; diamFactor*w >= minDist && levels < maxLevels; w /= 2 {
+		levels++
+	}
+	failProb := opt.FailProb
+	if failProb == 0 {
+		failProb = min(1e-4, 1/float64(n*n+1))
+	}
+	maxGrids := opt.MaxGrids
+	if maxGrids == 0 && opt.Method != MethodGrid {
+		maxGrids = partition.HybridGridBound(wd/r, n, r, levels, failProb)
+		if maxGrids > maxPracticalGrids {
+			return nil, fmt.Errorf("%w: Lemma-7 bound U=%d for k=%d dims/bucket (budget %d)",
+				ErrInfeasible, maxGrids, wd/r, maxPracticalGrids)
+		}
+	}
+
+	e := &Embedder{
+		opt: opt, method: opt.Method, pts: work, origDim: d, r: r,
+		diam: diam, diamFactor: diamFactor, levels: levels,
+	}
+
+	rnd := rng.New(opt.Seed)
+	ids := make([][]string, levels+1)
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	clusterKey := make([]string, n)
+
+	w := diam / 2
+	var scratch [16]int64
+	for lev := 1; lev <= levels; lev++ {
+		levIDs := make([]string, n)
+		levGrids := make([][]grid.Grid, 0, e.r)
+		if opt.Method == MethodGrid {
+			g := grid.New(rnd, wd, w)
+			levGrids = append(levGrids, []grid.Grid{g})
+			for p := range work {
+				if !active[p] {
+					continue
+				}
+				sc := g.CellCoords(work[p], scratch[:0])
+				levIDs[p] = grid.Key(sc)
+			}
+		} else {
+			for j := 0; j < e.r; j++ {
+				assigned := make([]string, n)
+				remaining := 0
+				for p := 0; p < n; p++ {
+					if active[p] {
+						remaining++
+					}
+				}
+				var bucketGrids []grid.Grid
+				for u := 0; u < maxGrids && remaining > 0; u++ {
+					g := grid.New(rnd, wd/e.r, 4*w)
+					bucketGrids = append(bucketGrids, g)
+					for p := 0; p < n; p++ {
+						if !active[p] || assigned[p] != "" {
+							continue
+						}
+						if idx, in := g.InBall(vec.Bucket(work[p], j, e.r), w, scratch[:0]); in {
+							assigned[p] = grid.KeyWithPrefix(uint64(u), idx)
+							remaining--
+						}
+					}
+				}
+				if remaining > 0 {
+					return nil, fmt.Errorf("%w (bucket %d, scale %g, %d uncovered)", ErrCoverageFailure, j, w, remaining)
+				}
+				levGrids = append(levGrids, bucketGrids)
+				for p := 0; p < n; p++ {
+					if active[p] {
+						levIDs[p] += string([]byte{byte(j)}) + assigned[p]
+					}
+				}
+			}
+		}
+		e.grids = append(e.grids, levGrids)
+		ids[lev] = levIDs
+
+		next := make(map[string]int)
+		for p := 0; p < n; p++ {
+			if !active[p] {
+				continue
+			}
+			clusterKey[p] += levelTag(lev) + levIDs[p]
+			next[clusterKey[p]]++
+		}
+		for p := 0; p < n; p++ {
+			if active[p] && next[clusterKey[p]] == 1 {
+				active[p] = false
+			}
+		}
+		w /= 2
+		allSingle := true
+		for _, sz := range next {
+			if sz > 1 {
+				allSingle = false
+				break
+			}
+		}
+		if allSingle {
+			e.levels = lev
+			levels = lev
+			break
+		}
+	}
+	e.levels = levels
+
+	t, childByID, repLeaf, err := buildTreeNav(work, ids, levels, diam, diamFactor)
+	if err != nil {
+		return nil, err
+	}
+	e.tree, e.childByID, e.repLeaf = t, childByID, repLeaf
+	return e, nil
+}
+
+// Tree returns the embedding tree.
+func (e *Embedder) Tree() *hst.Tree { return e.tree }
+
+// NumPoints returns the indexed point count.
+func (e *Embedder) NumPoints() int { return len(e.pts) }
+
+// queryID computes the level-lev flat id of q (1-based level), or "" if q
+// is uncovered at that level.
+func (e *Embedder) queryID(q vec.Point, lev int) string {
+	w := e.diam / math.Pow(2, float64(lev))
+	var scratch [16]int64
+	levGrids := e.grids[lev-1]
+	if e.method == MethodGrid {
+		g := levGrids[0][0]
+		sc := g.CellCoords(q, scratch[:0])
+		return grid.Key(sc)
+	}
+	id := ""
+	for j := 0; j < e.r; j++ {
+		found := false
+		for u, g := range levGrids[j] {
+			if idx, in := g.InBall(vec.Bucket(q, j, e.r), w, scratch[:0]); in {
+				id += string([]byte{byte(j)}) + grid.KeyWithPrefix(uint64(u), idx)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return ""
+		}
+	}
+	return id
+}
+
+// Locate descends the hierarchy with the same random grids that embedded
+// the data and returns the deepest tree node whose cluster the query
+// falls into (the root if it immediately diverges), plus the depth
+// reached in levels.
+func (e *Embedder) Locate(q vec.Point) (node, level int) {
+	if len(q) != e.origDim {
+		panic(fmt.Sprintf("core: query dimension %d, index expects %d", len(q), e.origDim))
+	}
+	qq := q
+	if len(e.pts) > 0 && len(q) < len(e.pts[0]) {
+		qq = make(vec.Point, len(e.pts[0]))
+		copy(qq, q)
+	}
+	node = 0
+	for lev := 1; lev <= e.levels; lev++ {
+		id := e.queryID(qq, lev)
+		if id == "" {
+			return node, lev - 1
+		}
+		m := e.childByID[node]
+		child, ok := m[id]
+		if !ok {
+			return node, lev - 1
+		}
+		node = child
+		if e.tree.Nodes[node].Point >= 0 {
+			return node, lev
+		}
+	}
+	return node, e.levels
+}
+
+// NearestCandidate returns an approximate nearest neighbor of q: the
+// representative point of the deepest cluster q reaches. The returned
+// distance is exact (Euclidean, against the original coordinates). The
+// candidate's quality follows the embedding guarantee: points that stay
+// with q through many levels are within O(√r·w_level) of it.
+func (e *Embedder) NearestCandidate(q vec.Point) (point int, dist float64) {
+	node, _ := e.Locate(q)
+	p := e.repLeaf[node]
+	if p < 0 {
+		p = 0
+	}
+	qq := q
+	if len(q) < len(e.pts[0]) {
+		qq = make(vec.Point, len(e.pts[0]))
+		copy(qq, q)
+	}
+	return p, vec.Dist(e.pts[p], qq)
+}
+
+// Refine improves a candidate by scanning every point in the located
+// cluster and returning the true nearest among them — still typically far
+// fewer than n points.
+func (e *Embedder) Refine(q vec.Point) (point int, dist float64) {
+	node, _ := e.Locate(q)
+	qq := q
+	if len(q) < len(e.pts[0]) {
+		qq = make(vec.Point, len(e.pts[0]))
+		copy(qq, q)
+	}
+	best, bestD := -1, math.Inf(1)
+	var walk func(v int)
+	walk = func(v int) {
+		if p := e.tree.Nodes[v].Point; p >= 0 {
+			if d := vec.Dist(e.pts[p], qq); d < bestD {
+				best, bestD = p, d
+			}
+		}
+		for _, c := range e.tree.Nodes[v].Children {
+			walk(c)
+		}
+	}
+	walk(node)
+	if best == -1 {
+		return e.NearestCandidate(q)
+	}
+	return best, bestD
+}

@@ -1,0 +1,133 @@
+// The full Theorem-1 pipeline: MPC Fast Johnson–Lindenstrauss dimension
+// reduction (Theorem 3) followed by MPC hybrid partitioning (Algorithm 2),
+// producing an O(log^1.5 n)-distortion tree embedding in O(1) rounds.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mpctree/internal/fjlt"
+	"mpctree/internal/hst"
+	"mpctree/internal/mpc"
+	"mpctree/internal/mpcembed"
+	"mpctree/internal/vec"
+)
+
+// PipelineOptions configures the end-to-end Theorem-1 run.
+type PipelineOptions struct {
+	// Xi is the FJLT distortion parameter ξ ∈ (0, 0.5); 0 means 0.3.
+	Xi float64
+	// FJLT tunes the transform further (CK, CQ, ForceK). Xi here wins
+	// over FJLT.Xi when both set.
+	FJLT fjlt.Options
+	// Embed tunes the hybrid partitioning stage. Embed.MinDist, if 0, is
+	// derived as (1−ξ)·MinDist of the ORIGINAL data (default 1: integer
+	// lattice inputs, as Theorem 1 assumes).
+	Embed mpcembed.Options
+	// MinDist of the original data; 0 means 1 (lattice inputs).
+	MinDist float64
+	// SkipJLBelow skips dimension reduction when the input dimension is
+	// already at most this (running the FJLT would not reduce it).
+	// 0 means k, the FJLT target dimension.
+	SkipJLBelow int
+	// Seed drives both stages.
+	Seed uint64
+}
+
+// PipelineInfo aggregates accounting across both stages.
+type PipelineInfo struct {
+	UsedFJLT    bool
+	FJLTParams  fjlt.Params
+	FJLTRounds  int
+	EmbedInfo   *mpcembed.Info
+	TotalRounds int
+	PeakLocal   int
+	TotalSpace  int
+	CommWords   int
+}
+
+// EmbedPipeline runs Theorem 1 on the cluster: reduce dimension with the
+// MPC FJLT when it helps, then build the tree with MPC hybrid
+// partitioning. The returned tree is rescaled by 1/(1−ξ) after dimension
+// reduction so that, whenever the FJLT met its (1±ξ) guarantee, the tree
+// metric still dominates the ORIGINAL Euclidean distances.
+func EmbedPipeline(c *mpc.Cluster, pts []vec.Point, opt PipelineOptions) (*hst.Tree, *PipelineInfo, error) {
+	n := len(pts)
+	if n == 0 {
+		return nil, nil, errors.New("core: empty point set")
+	}
+	d := len(pts[0])
+	if d == 0 {
+		return nil, nil, errors.New("core: zero-dimensional points")
+	}
+
+	xi := opt.Xi
+	if xi == 0 {
+		xi = opt.FJLT.Xi
+	}
+	if xi == 0 {
+		xi = 0.3
+	}
+	if xi <= 0 || xi >= 0.5 {
+		return nil, nil, fmt.Errorf("core: xi=%v out of (0, 0.5)", xi)
+	}
+	fo := opt.FJLT
+	fo.Xi = xi
+	fo.Seed = opt.Seed ^ 0xFA57
+	params, err := fjlt.NewParams(n, d, fo)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	skipBelow := opt.SkipJLBelow
+	if skipBelow == 0 {
+		skipBelow = params.K
+	}
+
+	info := &PipelineInfo{FJLTParams: params}
+	work := pts
+	minDist := opt.MinDist
+	if minDist == 0 {
+		minDist = 1
+	}
+
+	if d > skipBelow {
+		mapped, err := fjlt.ApplyMPC(c, pts, params, 0)
+		if err != nil {
+			return nil, info, err
+		}
+		info.UsedFJLT = true
+		info.FJLTRounds = c.Metrics().Rounds
+		work = mapped
+		// Distances contracted by at most (1−ξ) w.h.p.
+		minDist *= 1 - xi
+		// Clear transformed outputs off the cluster before the embedding
+		// stage loads its own records (driver handoff, not a round).
+		if err := c.LocalMap(func(m int, local []mpc.Record) []mpc.Record { return nil }); err != nil {
+			return nil, info, err
+		}
+	}
+
+	eo := opt.Embed
+	if eo.Seed == 0 {
+		eo.Seed = opt.Seed ^ 0x7EE
+	}
+	if eo.MinDist == 0 {
+		eo.MinDist = minDist
+	}
+	tree, einfo, err := mpcembed.Embed(c, work, eo)
+	info.EmbedInfo = einfo
+	m := c.Metrics()
+	info.TotalRounds = m.Rounds
+	info.PeakLocal = m.MaxLocalWords
+	info.TotalSpace = m.TotalSpace
+	info.CommWords = m.CommWords
+	if err != nil {
+		return nil, info, err
+	}
+	if info.UsedFJLT {
+		tree.ScaleWeights(1 / (1 - xi))
+	}
+	return tree, info, nil
+}

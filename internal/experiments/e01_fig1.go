@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"math"
+
+	"mpctree/internal/partition"
+	"mpctree/internal/rng"
+	"mpctree/internal/stats"
+	"mpctree/internal/workload"
+)
+
+func init() { register("E01-Fig1", runE01) }
+
+// runE01 regenerates Figure 1 as measured geometry: one level of each
+// partitioning method on the same planar point set — part counts, the
+// coverage of a single grid-of-balls draw, the number of draws needed,
+// and the maximum part diameter against each method's bound.
+func runE01(cfg Config) (*Result, error) {
+	n := 4000
+	if cfg.Quick {
+		n = 800
+	}
+	const d, delta = 2, 1024
+	const w = 64.0
+	pts := workload.UniformLattice(cfg.Seed+1, n, d, delta)
+	r := rng.New(cfg.Seed + 2)
+
+	tab := stats.NewTable("method", "parts", "1-grid coverage", "grids used", "max part diam", "diam bound")
+
+	res := &Result{
+		ID:    "E01-Fig1",
+		Claim: "Figure 1: grid cells cover everything; one grid of balls covers only vol(B²)/16 ≈ 19.6% of the plane; hybrid buckets recover coverage per bucket while keeping parts round.",
+	}
+
+	maxDiam := func(res partition.Result) float64 {
+		var m float64
+		for _, diam := range partition.Diameters(pts, res) {
+			if diam > m {
+				m = diam
+			}
+		}
+		return m
+	}
+
+	// Grid partitioning (Definition 1).
+	gp := partition.GridPartition(r, pts, w)
+	gridDiam := maxDiam(gp)
+	tab.AddRow("grid", len(gp.Parts()), 1.0, gp.GridsUsed, gridDiam, w*math.Sqrt(d))
+
+	// Ball partitioning (Definition 2): first measure single-draw
+	// coverage, then full coverage.
+	one := partition.BallPartition(rng.New(cfg.Seed+3), pts, w, 1)
+	oneCover := 1 - float64(one.Uncovered)/float64(n)
+	bp := partition.BallPartition(rng.New(cfg.Seed+3), pts, w, 500)
+	ballDiam := maxDiam(bp)
+	tab.AddRow("ball", len(bp.Parts()), oneCover, bp.GridsUsed, ballDiam, 2*w)
+
+	// Hybrid partitioning (Definition 3) with r=2 on the plane: per-axis
+	// interval partitioning intersected into boxes.
+	hp := partition.HybridPartition(rng.New(cfg.Seed+4), pts, w, 2, 500)
+	hybDiam := maxDiam(hp)
+	tab.AddRow("hybrid r=2", len(hp.Parts()), 1.0, hp.GridsUsed, hybDiam, 2*w*math.Sqrt2)
+
+	res.Tables = append(res.Tables, tab)
+	wantCover := partition.CoverProb(2)
+	res.Checks = append(res.Checks,
+		check("grid covers everything", gp.OK(), "uncovered=%d", gp.Uncovered),
+		check("one ball draw covers ≈ vol(B²)/16", math.Abs(oneCover-wantCover) < 0.03,
+			"measured %.3f vs analytic %.3f", oneCover, wantCover),
+		check("ball partitioning needs many draws", bp.GridsUsed > 3 && bp.OK(),
+			"used %d grids, uncovered=%d", bp.GridsUsed, bp.Uncovered),
+		check("grid diameter ≤ w√d", gridDiam <= w*math.Sqrt(d)+1e-9, "max %.2f vs %.2f", gridDiam, w*math.Sqrt(d)),
+		check("ball diameter ≤ 2w", ballDiam <= 2*w+1e-9, "max %.2f vs %.2f", ballDiam, 2*w),
+		check("hybrid diameter ≤ 2w√r", hybDiam <= 2*w*math.Sqrt2+1e-9, "max %.2f vs %.2f", hybDiam, 2*w*math.Sqrt2),
+		check("hybrid needs fewer draws per bucket than ball overall", hp.OK(),
+			"hybrid used %d grids across 2 buckets vs ball %d", hp.GridsUsed, bp.GridsUsed),
+	)
+	return res, nil
+}

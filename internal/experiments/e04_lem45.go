@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"math"
+
+	"mpctree/internal/rng"
+	"mpctree/internal/stats"
+)
+
+func init() { register("E04-Lem45", runE04) }
+
+// runE04 reproduces Lemmas 4 and 5 by Monte Carlo: for u uniform on the
+// unit sphere (Lemma 4) or in the unit ball (Lemma 5),
+// Pr[|u₁| ≤ D/(2w)] = O(√d·D/w) — the equator-band probability that
+// drives the separation analysis. We sweep the dimension and verify the
+// √d growth.
+func runE04(cfg Config) (*Result, error) {
+	samples := 400000
+	if cfg.Quick {
+		samples = 60000
+	}
+	const band = 0.02 // D/(2w)
+	dims := []int{2, 4, 8, 16, 32, 64}
+
+	res := &Result{
+		ID:    "E04-Lem45",
+		Claim: "Lemmas 4/5: the probability a uniform sphere (resp. ball) vector lies within D/(2w) of the equator is O(√d·D/w) — grows as √d.",
+	}
+	tab := stats.NewTable("d", "Pr sphere", "Pr ball", "2√d·band", "sphere/bound", "ball/bound")
+
+	r := rng.New(cfg.Seed + 40)
+	sphereP := make([]float64, len(dims))
+	ballP := make([]float64, len(dims))
+	for di, d := range dims {
+		v := make([]float64, d)
+		inS, inB := 0, 0
+		for s := 0; s < samples; s++ {
+			r.UnitVector(v)
+			if math.Abs(v[0]) <= band {
+				inS++
+			}
+			r.BallVector(v)
+			if math.Abs(v[0]) <= band {
+				inB++
+			}
+		}
+		sphereP[di] = float64(inS) / float64(samples)
+		ballP[di] = float64(inB) / float64(samples)
+		bound := 2 * math.Sqrt(float64(d)) * band
+		tab.AddRow(d, sphereP[di], ballP[di], bound, sphereP[di]/bound, ballP[di]/bound)
+	}
+	res.Tables = append(res.Tables, tab)
+
+	xs := make([]float64, len(dims))
+	for i, d := range dims {
+		xs[i] = float64(d)
+	}
+	sSlope := stats.LogLogSlope(xs, sphereP)
+	bSlope := stats.LogLogSlope(xs, ballP)
+	boundOK := true
+	for di, d := range dims {
+		if sphereP[di] > 2*math.Sqrt(float64(d))*band || ballP[di] > 2*math.Sqrt(float64(d))*band {
+			boundOK = false
+		}
+	}
+	res.Checks = append(res.Checks,
+		check("sphere probability grows as √d", math.Abs(sSlope-0.5) < 0.15, "slope %.3f", sSlope),
+		check("ball probability grows as √d", math.Abs(bSlope-0.5) < 0.15, "slope %.3f", bSlope),
+		check("both below 2√d·band", boundOK, "constant ≤ 2 suffices at every d"),
+	)
+	return res, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"mpctree/internal/apps"
+	"mpctree/internal/core"
+	"mpctree/internal/stats"
+	"mpctree/internal/vec"
+	"mpctree/internal/workload"
+)
+
+func init() { register("E08-MST", runE08) }
+
+// runE08 reproduces Corollary 1's minimum spanning tree application: the
+// spanning tree read off the embedding costs within the distortion factor
+// of the exact Euclidean MST (and never less), on both uniform and
+// clustered data, for both hybrid and grid embeddings.
+func runE08(cfg Config) (*Result, error) {
+	n, trees := 256, 12
+	if cfg.Quick {
+		n, trees = 96, 5
+	}
+	const d, delta = 4, 1024
+
+	res := &Result{
+		ID:    "E08-MST",
+		Claim: "Corollary 1 (MST): the tree-embedding MST is an O(log^1.5 n)-approximation of the Euclidean MST; the hybrid embedding's ratio is no worse than the grid baseline's.",
+	}
+	tab := stats.NewTable("workload", "method", "exact MST", "mean approx", "mean ratio", "worst ratio")
+
+	type wl struct {
+		name string
+		pts  []vec.Point
+	}
+	wls := []wl{
+		{"uniform", workload.UniformLattice(cfg.Seed+80, n, d, delta)},
+		{"clustered", workload.GaussianClusters(cfg.Seed+81, n, d, 6, 4, delta)},
+	}
+	ratios := map[string]map[core.Method]float64{}
+	dominationOK := true
+	for _, w := range wls {
+		exact := apps.ExactMSTCost(w.pts)
+		ratios[w.name] = map[core.Method]float64{}
+		for _, m := range []core.Method{core.MethodHybrid, core.MethodGrid} {
+			var sum, worst float64
+			for s := 0; s < trees; s++ {
+				t, _, err := core.Embed(w.pts, core.Options{Method: m, Seed: cfg.Seed ^ uint64(s)<<7 ^ uint64(m)<<3})
+				if err != nil {
+					return nil, err
+				}
+				cost := apps.TreeMSTCost(w.pts, t)
+				if cost < exact-1e-6 {
+					dominationOK = false
+				}
+				sum += cost
+				if cost/exact > worst {
+					worst = cost / exact
+				}
+			}
+			mean := sum / float64(trees)
+			tab.AddRow(w.name, m.String(), exact, mean, mean/exact, worst)
+			ratios[w.name][m] = mean / exact
+		}
+	}
+	res.Tables = append(res.Tables, tab)
+
+	reasonable := true
+	for _, per := range ratios {
+		for _, r := range per {
+			if r < 1 || r > 10 {
+				reasonable = false
+			}
+		}
+	}
+	hybridNoWorse := true
+	for _, per := range ratios {
+		if per[core.MethodHybrid] > per[core.MethodGrid]*1.15 {
+			hybridNoWorse = false
+		}
+	}
+	res.Checks = append(res.Checks,
+		check("approx never beats exact", dominationOK, "every tree-MST ≥ exact MST"),
+		check("ratios modest (≪ theory bound)", reasonable, "%v", ratios),
+		check("hybrid ≤ grid (within 15%)", hybridNoWorse, "%v", ratios),
+	)
+	return res, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"mpctree/internal/apps"
+	"mpctree/internal/core"
+	"mpctree/internal/rng"
+	"mpctree/internal/stats"
+	"mpctree/internal/workload"
+)
+
+func init() { register("E09-EMD", runE09) }
+
+// runE09 reproduces Corollary 1's Earth-Mover distance application: tree
+// EMD (computable in linear time on the embedding) approximates the exact
+// Euclidean EMD within the distortion factor and never undershoots it.
+func runE09(cfg Config) (*Result, error) {
+	n, trees, measures := 64, 10, 4
+	if cfg.Quick {
+		n, trees, measures = 32, 4, 2
+	}
+	const d, delta = 3, 1024
+
+	res := &Result{
+		ID:    "E09-EMD",
+		Claim: "Corollary 1 (EMD): tree-embedding EMD approximates Euclidean EMD within O(log^1.5 n), never below it; exact tree transport runs in linear time.",
+	}
+	tab := stats.NewTable("measure pair", "exact EMD", "mean tree EMD", "mean ratio", "worst ratio")
+
+	pts := workload.GaussianClusters(cfg.Seed+90, n, d, 4, 8, delta)
+	r := rng.New(cfg.Seed + 91)
+	dominationOK := true
+	sane := true
+	for mIdx := 0; mIdx < measures; mIdx++ {
+		mu := make([]float64, n)
+		nu := make([]float64, n)
+		var sm, sn float64
+		for i := 0; i < n; i++ {
+			mu[i] = r.Float64()
+			nu[i] = r.Float64()
+			sm += mu[i]
+			sn += nu[i]
+		}
+		for i := 0; i < n; i++ {
+			mu[i] /= sm
+			nu[i] /= sn
+		}
+		exact, err := apps.ExactEMD(pts, mu, nu)
+		if err != nil {
+			return nil, err
+		}
+		var sum, worst float64
+		for s := 0; s < trees; s++ {
+			t, _, err := core.Embed(pts, core.Options{Method: core.MethodHybrid, Seed: cfg.Seed ^ uint64(s)<<11 ^ uint64(mIdx)<<2})
+			if err != nil {
+				return nil, err
+			}
+			te := apps.TreeEMD(t, mu, nu)
+			if te < exact-1e-6 {
+				dominationOK = false
+			}
+			sum += te
+			if te/exact > worst {
+				worst = te / exact
+			}
+		}
+		mean := sum / float64(trees)
+		if mean/exact < 1 || mean/exact > 30 {
+			sane = false
+		}
+		tab.AddRow(mIdx, exact, mean, mean/exact, worst)
+	}
+	res.Tables = append(res.Tables, tab)
+	res.Checks = append(res.Checks,
+		check("tree EMD ≥ exact EMD always", dominationOK, "domination carries through transport"),
+		check("mean ratios modest", sane, "all mean ratios in [1, 30]"),
+	)
+	return res, nil
+}

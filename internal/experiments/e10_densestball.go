@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"mpctree/internal/apps"
+	"mpctree/internal/core"
+	"mpctree/internal/rng"
+	"mpctree/internal/stats"
+	"mpctree/internal/vec"
+)
+
+func init() { register("E10-DB", runE10) }
+
+// runE10 reproduces Corollary 1's densest-ball application: with a
+// diameter violation budget beta, the best tree cluster captures a
+// growing fraction of the optimal diameter-D ball; near-optimal capture
+// needs beta in the polylog range — the bicriteria
+// (1−O(1/log log n), O(log^1.5 n)) trade-off.
+func runE10(cfg Config) (*Result, error) {
+	planted, noise, trees := 40, 60, 12
+	if cfg.Quick {
+		planted, noise, trees = 25, 30, 5
+	}
+
+	res := &Result{
+		ID:    "E10-DB",
+		Claim: "Corollary 1 (densest ball): sweeping the diameter budget β, capture of the planted optimum rises toward 1; polylog β suffices (bicriteria (1−o(1), O(log^1.5 n))).",
+	}
+
+	// Planted dense cluster of diameter ≲ 3.5 inside a 1000-wide cube.
+	r := rng.New(cfg.Seed + 100)
+	var pts []vec.Point
+	for i := 0; i < planted; i++ {
+		pts = append(pts, vec.Point{500 + r.UniformRange(-1, 1), 500 + r.UniformRange(-1, 1), 500 + r.UniformRange(-1, 1)})
+	}
+	for i := 0; i < noise; i++ {
+		pts = append(pts, vec.Point{r.UniformRange(0, 1000), r.UniformRange(0, 1000), r.UniformRange(0, 1000)})
+	}
+	pts = vec.Dedup(pts)
+	const D = 4.0
+	opt := apps.ExactDensestBall(pts, D)
+
+	betas := []float64{1, 4, 16, 64, 256}
+	tab := stats.NewTable("β", "mean capture", "mean count", "OPT", "mean true diameter / D")
+	capture := make([]float64, len(betas))
+	for bi, beta := range betas {
+		var sumCount, sumDiam float64
+		for s := 0; s < trees; s++ {
+			t, _, err := core.Embed(pts, core.Options{Method: core.MethodHybrid, R: 2, Seed: cfg.Seed ^ uint64(s)<<13 ^ uint64(bi)})
+			if err != nil {
+				return nil, err
+			}
+			db := apps.DensestBallTree(t, D, beta)
+			sumCount += float64(db.Count)
+			if db.Node >= 0 && db.Count > 1 {
+				sumDiam += apps.TrueDiameter(pts, apps.ClusterMembers(t, db.Node))
+			}
+		}
+		capture[bi] = sumCount / float64(trees) / float64(opt.Count)
+		tab.AddRow(beta, capture[bi], sumCount/float64(trees), opt.Count, sumDiam/float64(trees)/D)
+	}
+	res.Tables = append(res.Tables, tab)
+
+	monotone := true
+	for i := 1; i < len(capture); i++ {
+		if capture[i] < capture[i-1]-0.05 {
+			monotone = false
+		}
+	}
+	res.Checks = append(res.Checks,
+		check("planted optimum found by exact baseline", opt.Count >= planted*4/5, "OPT=%d of %d planted", opt.Count, planted),
+		check("capture monotone in β", monotone, "capture %v", capture),
+		check("polylog β captures ≥ 80%", capture[len(capture)-1] >= 0.8, "β=%.0f capture %.2f", betas[len(betas)-1], capture[len(capture)-1]),
+		check("tiny β captures little", capture[0] < capture[len(capture)-1], "β=1: %.2f", capture[0]),
+	)
+	return res, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"math"
+
+	"mpctree/internal/core"
+	"mpctree/internal/stats"
+	"mpctree/internal/workload"
+)
+
+func init() { register("E13-Cycle", runE13) }
+
+// runE13 revisits the instance that started the tree-embedding story
+// (Section 1 of the paper): Rabinovich–Raz showed a DETERMINISTIC tree
+// embedding of the n-cycle needs Ω(n) distortion, and randomization
+// (Karp; Bartal) is what makes polylog possible. We embed points on a
+// circle and verify (a) every single tree has some pair stretched Ω(n)
+// — the deterministic lower bound is visible in each sample — while
+// (b) the EXPECTED distortion stays polylogarithmic-ish, growing far
+// slower than n.
+func runE13(cfg Config) (*Result, error) {
+	trees := 24
+	ns := []int{16, 32, 64, 128}
+	if cfg.Quick {
+		trees = 10
+		ns = []int{16, 64}
+	}
+
+	res := &Result{
+		ID:    "E13-Cycle",
+		Claim: "Intro/[52]/[48]: on the n-cycle, every FIXED tree stretches some adjacent pair by Ω(n), yet the EXPECTED stretch per pair stays polylog — randomization is what beats the deterministic Ω(n) bound.",
+	}
+	tab := stats.NewTable("n", "E[adjacent stretch]", "mean single-tree worst pair", "worst/E ratio", "n/4")
+
+	var nsF, expDist, worstSingle []float64
+	for _, n := range ns {
+		pts := workload.Circle(cfg.Seed+130+uint64(n), n, 1<<14)
+		// Per-pair expected stretch, averaged over adjacent pairs (the
+		// cycle edges the lower bound speaks about): an unbiased read of
+		// the theorem's per-pair E[dist_T]/dist. Alongside it, the mean
+		// over trees of the single-tree WORST adjacent stretch — the
+		// quantity Rabinovich–Raz forces to Ω(n) for any fixed tree.
+		var meanSum, worstSum float64
+		var samples int
+		for s := 0; s < trees; s++ {
+			t, _, err := core.Embed(pts, core.Options{Method: core.MethodHybrid, R: 1, Seed: cfg.Seed ^ uint64(s)<<5 ^ uint64(n)})
+			if err != nil {
+				return nil, err
+			}
+			worst := 0.0
+			for i := 0; i < n; i++ {
+				j := (i + 1) % n
+				e := distEuclid(pts[i], pts[j])
+				if e == 0 {
+					continue
+				}
+				ratio := t.Dist(i, j) / e
+				meanSum += ratio
+				samples++
+				if ratio > worst {
+					worst = ratio
+				}
+			}
+			worstSum += worst
+		}
+		meanAdj := meanSum / float64(samples)
+		meanWorst := worstSum / float64(trees)
+		tab.AddRow(n, meanAdj, meanWorst, meanWorst/meanAdj, float64(n)/4)
+		nsF = append(nsF, float64(n))
+		expDist = append(expDist, meanAdj)
+		worstSingle = append(worstSingle, meanWorst)
+	}
+	res.Tables = append(res.Tables, tab)
+
+	expSlope := stats.LogLogSlope(nsF, expDist)
+	worstSlope := stats.LogLogSlope(nsF, worstSingle)
+	res.Checks = append(res.Checks,
+		check("expected stretch grows sublinearly", expSlope < 0.7,
+			"slope %.2f in n (Ω(n) would be 1; theory ~ logΔ ~ log n)", expSlope),
+		check("single-tree worst pair grows near-linearly", worstSlope > 0.5,
+			"slope %.2f — each fixed tree pays the Rabinovich–Raz price somewhere", worstSlope),
+		check("single-tree worst ≫ expected at large n", worstSingle[len(worstSingle)-1] > 2*expDist[len(expDist)-1],
+			"worst %.1f vs expected %.1f at n=%d", worstSingle[len(worstSingle)-1], expDist[len(expDist)-1], ns[len(ns)-1]),
+	)
+	return res, nil
+}
+
+func distEuclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every registered experiment must run in Quick mode and pass every one
+// of its own shape checks — this is the repository's claim-by-claim
+// regression suite against the paper.
+func TestAllExperimentsQuick(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("expected 15 experiments, found %d: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, Config{Quick: true, Seed: 12345})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if res.ID != id {
+				t.Errorf("result id %q != %q", res.ID, id)
+			}
+			if len(res.Tables) == 0 {
+				t.Errorf("%s produced no tables", id)
+			}
+			if len(res.Checks) == 0 {
+				t.Errorf("%s asserted nothing", id)
+			}
+			for _, f := range res.Failed() {
+				t.Errorf("%s check failed: %s", id, f)
+			}
+			out := res.String()
+			if !strings.Contains(out, id) || !strings.Contains(out, "PASS") {
+				t.Errorf("%s rendering looks wrong:\n%s", id, out)
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("E99-Nope", Config{Quick: true}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("ids not strictly sorted: %v", ids)
+		}
+	}
+}

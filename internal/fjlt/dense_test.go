@@ -1,0 +1,85 @@
+package fjlt
+
+import (
+	"math"
+	"testing"
+
+	"mpctree/internal/vec"
+)
+
+func TestDenseJLDistortion(t *testing.T) {
+	const n, d = 50, 300
+	pts := randPts(51, n, d)
+	tr, err := NewDenseJL(n, d, Options{Xi: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := tr.ApplyAll(pts)
+	if len(mapped[0]) != tr.K {
+		t.Fatalf("output dim %d != k %d", len(mapped[0]), tr.K)
+	}
+	if worst := MaxPairwiseDistortion(pts, mapped); worst > 0.5 {
+		t.Errorf("dense JL distortion %v > 0.5", worst)
+	}
+}
+
+// The FJLT and dense JL choose the same k for the same inputs, making
+// space comparisons apples-to-apples.
+func TestDenseJLMatchesFJLTDimension(t *testing.T) {
+	p, err := NewParams(500, 256, Options{Xi: 0.25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := NewDenseJL(500, 256, Options{Xi: 0.25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dj.K != p.K {
+		t.Errorf("dense k=%d vs fjlt k=%d", dj.K, p.K)
+	}
+}
+
+func TestDenseJLNormPreservation(t *testing.T) {
+	const d = 200
+	x := randPts(52, 1, d)[0]
+	n2 := vec.Norm2(x)
+	var sum float64
+	const trials = 50
+	for s := uint64(0); s < trials; s++ {
+		tr, err := NewDenseJL(1000, d, Options{Xi: 0.3, Seed: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += vec.Norm2(tr.Apply(x))
+	}
+	if got := sum / trials; math.Abs(got-n2) > 0.15*n2 {
+		t.Errorf("E‖Px‖² = %v, want ≈ %v", got, n2)
+	}
+}
+
+func TestDenseJLWorkDominatesFJLT(t *testing.T) {
+	const n, d = 1000, 4096
+	p, err := NewParams(n, d, Options{Xi: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := NewDenseJL(n, d, Options{Xi: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's point: dense work n·d·k ≫ FJLT's nd + n·nnz(P)-ish.
+	fjltWork := n*d + n*NNZ(p, DefaultBlockC(p.DPad))
+	if dj.WorkWords(n) < 5*fjltWork {
+		t.Errorf("dense %d not ≫ fjlt %d at d=%d", dj.WorkWords(n), fjltWork, d)
+	}
+}
+
+func TestDenseJLPanicsOnWrongDim(t *testing.T) {
+	tr, _ := NewDenseJL(10, 16, Options{Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tr.Apply(make(vec.Point, 4))
+}

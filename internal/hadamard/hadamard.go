@@ -1,0 +1,276 @@
+// Package hadamard implements the Walsh–Hadamard transform, sequentially
+// and distributed over the MPC simulator.
+//
+// The FJLT's H matrix (Section 5 of the paper) is the normalised
+// Walsh–Hadamard matrix H_{i,j} = d^{-1/2}·(−1)^{⟨i−1,j−1⟩}; applying it is
+// the d-dimensional transform computable in O(d log d) sequentially.
+//
+// The distributed version follows the Kronecker factorisation
+// H_{R·C} = H_R ⊗ H_C: lay a length-d vector out as R rows of C contiguous
+// entries, transform every row locally (H_C), transpose, transform every
+// column locally (H_R), and transpose back — the same communication
+// pattern as the MPC FFT of Hajiaghayi–Saleh–Seddighin–Sun the paper
+// invokes. Two local stages suffice whenever d ≤ C², which at local
+// memory (nd)^ε means 1/ε ≤ 2 stages; the round count is O(1) regardless
+// of n.
+package hadamard
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"mpctree/internal/mpc"
+)
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// NextPow2 returns the smallest power of two ≥ v (v ≥ 1).
+func NextPow2(v int) int {
+	if v <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(v-1))
+}
+
+// FWHT applies the unnormalised Walsh–Hadamard transform to x in place.
+// len(x) must be a power of two. Applying it twice yields len(x)·x.
+func FWHT(x []float64) {
+	n := len(x)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("hadamard: length %d is not a power of two", n))
+	}
+	for h := 1; h < n; h *= 2 {
+		for i := 0; i < n; i += 2 * h {
+			for j := i; j < i+h; j++ {
+				a, b := x[j], x[j+h]
+				x[j], x[j+h] = a+b, a-b
+			}
+		}
+	}
+}
+
+// Normalized applies the orthonormal transform H = FWHT/√d in place.
+// It is an involution: Normalized(Normalized(x)) == x.
+func Normalized(x []float64) {
+	FWHT(x)
+	scale := 1 / math.Sqrt(float64(len(x)))
+	for i := range x {
+		x[i] *= scale
+	}
+}
+
+// Dense returns the normalised d×d Walsh–Hadamard matrix, for tests and
+// tiny inputs only (O(d²) space).
+func Dense(d int) [][]float64 {
+	if !IsPow2(d) {
+		panic(fmt.Sprintf("hadamard: dimension %d is not a power of two", d))
+	}
+	scale := 1 / math.Sqrt(float64(d))
+	h := make([][]float64, d)
+	for i := range h {
+		h[i] = make([]float64, d)
+		for j := range h[i] {
+			if bits.OnesCount(uint(i&j))%2 == 0 {
+				h[i][j] = scale
+			} else {
+				h[i][j] = -scale
+			}
+		}
+	}
+	return h
+}
+
+// Record tags used by the distributed transform. Row blocks are the
+// at-rest layout; element records exist only inside transpose rounds.
+const (
+	TagRowBlock uint8 = 10
+	TagElem     uint8 = 11
+)
+
+// RowBlockKey is the routing key of block b of vector v.
+func RowBlockKey(v, b int) string { return fmt.Sprintf("h|%d|%d", v, b) }
+
+// RowBlock constructs the at-rest record for block b of vector v: the
+// contiguous entries data[b·C : (b+1)·C].
+func RowBlock(v, b int, block []float64) mpc.Record {
+	return mpc.Record{Key: RowBlockKey(v, b), Tag: TagRowBlock, Ints: []int64{int64(v), int64(b)}, Data: block}
+}
+
+// DistributeVectors loads n vectors of length d (power of two) onto the
+// cluster as row blocks of size blockC, ready for DistFWHT. Vectors are
+// padded with zeros to length d if shorter.
+func DistributeVectors(c *mpc.Cluster, vecs [][]float64, d, blockC int) error {
+	if !IsPow2(d) || !IsPow2(blockC) || blockC > d {
+		return fmt.Errorf("hadamard: bad layout d=%d blockC=%d", d, blockC)
+	}
+	var recs []mpc.Record
+	for v, x := range vecs {
+		if len(x) > d {
+			return fmt.Errorf("hadamard: vector %d longer than d=%d", v, d)
+		}
+		for b := 0; b*blockC < d; b++ {
+			block := make([]float64, blockC)
+			for t := 0; t < blockC; t++ {
+				if i := b*blockC + t; i < len(x) {
+					block[t] = x[i]
+				}
+			}
+			recs = append(recs, RowBlock(v, b, block))
+		}
+	}
+	return c.Distribute(recs)
+}
+
+// CollectVectors reads back n vectors of length d from row-block layout.
+func CollectVectors(c *mpc.Cluster, n, d, blockC int) ([][]float64, error) {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, d)
+	}
+	seen := 0
+	for _, r := range c.Collect() {
+		if r.Tag != TagRowBlock {
+			continue
+		}
+		v, b := int(r.Ints[0]), int(r.Ints[1])
+		if v < 0 || v >= n || b < 0 || (b+1)*blockC > d {
+			return nil, fmt.Errorf("hadamard: stray block (%d,%d)", v, b)
+		}
+		copy(out[v][b*blockC:], r.Data)
+		seen++
+	}
+	if seen != n*(d/blockC) {
+		return nil, fmt.Errorf("hadamard: collected %d blocks, want %d", seen, n*(d/blockC))
+	}
+	return out, nil
+}
+
+// DistFWHT applies the normalised Walsh–Hadamard transform to every vector
+// resident on the cluster in row-block layout (n vectors, length d, block
+// size C): local H_C per row block, transpose, local H_R per column,
+// transpose back. Requires R = d/C ≤ CapWords (a column must fit on a
+// machine); with C chosen near √d this holds whenever d ≤ Cap².
+//
+// Rounds: 2 (the two transposes); all transforms ride along as local work.
+func DistFWHT(c *mpc.Cluster, d, blockC int) error {
+	if !IsPow2(d) || !IsPow2(blockC) || blockC > d {
+		return fmt.Errorf("hadamard: bad layout d=%d blockC=%d", d, blockC)
+	}
+	rows := d / blockC // R: number of row blocks = column length
+	if rows > c.CapWords() {
+		return fmt.Errorf("hadamard: column length %d exceeds machine cap %d; increase blockC", rows, c.CapWords())
+	}
+	M := c.Machines()
+	scale := 1 / math.Sqrt(float64(d))
+
+	colKey := func(v, t int) string { return fmt.Sprintf("hc|%d|%d", v, t) }
+
+	// Stage 1 + transpose: transform each row block locally, then scatter
+	// elements to column owners.
+	err := c.Round(func(m int, local []mpc.Record, emit mpc.Emit) []mpc.Record {
+		keep := local[:0:0]
+		for _, r := range local {
+			if r.Tag != TagRowBlock {
+				keep = append(keep, r)
+				continue
+			}
+			v, b := int(r.Ints[0]), int(r.Ints[1])
+			block := append([]float64(nil), r.Data...)
+			FWHT(block)
+			for t, val := range block {
+				emit(hashCol(colKey(v, t), M), mpc.Record{
+					Key:  colKey(v, t),
+					Tag:  TagElem,
+					Ints: []int64{int64(v), int64(t), int64(b)},
+					Data: []float64{val},
+				})
+			}
+		}
+		return keep
+	})
+	if err != nil {
+		return err
+	}
+
+	// Assemble columns, transform, scatter back to row blocks.
+	err = c.Round(func(m int, local []mpc.Record, emit mpc.Emit) []mpc.Record {
+		keep := local[:0:0]
+		type colID struct{ v, t int }
+		cols := make(map[colID][]float64)
+		for _, r := range local {
+			if r.Tag != TagElem {
+				keep = append(keep, r)
+				continue
+			}
+			id := colID{v: int(r.Ints[0]), t: int(r.Ints[1])}
+			col := cols[id]
+			if col == nil {
+				col = make([]float64, rows)
+				cols[id] = col
+			}
+			col[r.Ints[2]] = r.Data[0]
+		}
+		for id, col := range cols {
+			FWHT(col)
+			for j, val := range col {
+				emit(hashCol(RowBlockKey(id.v, j), M), mpc.Record{
+					Key:  RowBlockKey(id.v, j),
+					Tag:  TagElem,
+					Ints: []int64{int64(id.v), int64(j), int64(id.t)},
+					Data: []float64{val * scale},
+				})
+			}
+		}
+		return keep
+	})
+	if err != nil {
+		return err
+	}
+
+	// Reassemble row blocks locally.
+	return c.LocalMap(func(m int, local []mpc.Record) []mpc.Record {
+		keep := local[:0:0]
+		type rowID struct{ v, b int }
+		rowsAcc := make(map[rowID][]float64)
+		for _, r := range local {
+			if r.Tag != TagElem {
+				keep = append(keep, r)
+				continue
+			}
+			id := rowID{v: int(r.Ints[0]), b: int(r.Ints[1])}
+			row := rowsAcc[id]
+			if row == nil {
+				row = make([]float64, blockC)
+				rowsAcc[id] = row
+			}
+			row[r.Ints[2]] = r.Data[0]
+		}
+		// Deterministic output order.
+		ids := make([]rowID, 0, len(rowsAcc))
+		for id := range rowsAcc {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			if ids[i].v != ids[j].v {
+				return ids[i].v < ids[j].v
+			}
+			return ids[i].b < ids[j].b
+		})
+		for _, id := range ids {
+			keep = append(keep, RowBlock(id.v, id.b, rowsAcc[id]))
+		}
+		return keep
+	})
+}
+
+func hashCol(key string, machines int) int {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(machines))
+}

@@ -1,0 +1,140 @@
+// Dynamic programming on tree embeddings — the application hook of
+// Section 1.3.3: "storing data on trees provides a unique structure for
+// data computation … efficient low-memory MPC and AMPC algorithms for
+// solving dynamic programs on trees". FoldUp/FoldDown give downstream
+// users the bottom-up and top-down passes those algorithms are built
+// from, and two ready-made DPs (k-center-style cluster selection and
+// weighted subtree medians) show the pattern.
+package hst
+
+// FoldUp runs a bottom-up dynamic program: leafVal seeds each leaf,
+// combine merges a node's accumulated value with one child's value. The
+// traversal order is arena order reversed, which is a valid post-order
+// because Builder creates parents before children. Returns the per-node
+// values; the root's answer is out[0].
+func FoldUp[T any](t *Tree, leafVal func(point int) T, nodeInit func(v int) T, combine func(acc T, child T) T) []T {
+	out := make([]T, len(t.Nodes))
+	for v := len(t.Nodes) - 1; v >= 0; v-- {
+		nd := &t.Nodes[v]
+		var acc T
+		if nd.Point >= 0 {
+			acc = leafVal(nd.Point)
+		} else {
+			acc = nodeInit(v)
+		}
+		for _, c := range nd.Children {
+			acc = combine(acc, out[c])
+		}
+		out[v] = acc
+	}
+	return out
+}
+
+// FoldDown runs a top-down dynamic program: rootVal seeds the root, and
+// push derives a child's value from its parent's value and the
+// connecting edge weight. Returns per-node values.
+func FoldDown[T any](t *Tree, rootVal T, push func(parent T, child int, edgeWeight float64) T) []T {
+	out := make([]T, len(t.Nodes))
+	out[0] = rootVal
+	for v := 1; v < len(t.Nodes); v++ {
+		out[v] = push(out[t.Nodes[v].Parent], v, t.Nodes[v].Weight)
+	}
+	return out
+}
+
+// HeaviestClusterAtScale returns, among nodes whose subtree-diameter
+// bound is at most maxDiam, the one holding the most leaves — the DP
+// behind the densest-ball application, exposed for reuse.
+func (t *Tree) HeaviestClusterAtScale(maxDiam float64) (node, count int) {
+	bounds := t.SubtreeLeafDiameterBound()
+	counts := t.SubtreeCounts()
+	node, count = -1, 0
+	for v := range t.Nodes {
+		if bounds[v] <= maxDiam && counts[v] > count {
+			node, count = v, counts[v]
+		}
+	}
+	return node, count
+}
+
+// CutAtScale cuts the hierarchy at the coarsest frontier whose clusters
+// all have subtree-diameter bound ≤ maxDiam, returning a cluster label
+// per data point. This is the "flat clustering at a scale" read of a
+// hierarchical embedding: labels are contiguous ints from 0.
+func (t *Tree) CutAtScale(maxDiam float64) []int {
+	bounds := t.SubtreeLeafDiameterBound()
+	labels := make([]int, t.NumPoints())
+	next := 0
+	var walk func(v int, label int)
+	walk = func(v int, label int) {
+		if t.Nodes[v].Point >= 0 {
+			labels[t.Nodes[v].Point] = label
+			// A leaf may still have children in exotic trees; recurse
+			// with the same label.
+		}
+		for _, c := range t.Nodes[v].Children {
+			walk(c, label)
+		}
+	}
+	var descend func(v int)
+	descend = func(v int) {
+		if bounds[v] <= maxDiam {
+			walk(v, next)
+			next++
+			return
+		}
+		if t.Nodes[v].Point >= 0 {
+			labels[t.Nodes[v].Point] = next
+			next++
+		}
+		for _, c := range t.Nodes[v].Children {
+			descend(c)
+		}
+	}
+	descend(0)
+	return labels
+}
+
+// MedoidLeaf returns the data point minimising the sum of tree distances
+// to all other points — the 1-median of the tree metric, computed exactly
+// in two passes (O(n) after preprocessing) rather than O(n²) pairwise.
+func (t *Tree) MedoidLeaf() (point int, totalDist float64) {
+	n := len(t.Nodes)
+	// below[v]: (#leaves in subtree, Σ distance from v to those leaves).
+	type agg struct {
+		cnt int
+		sum float64
+	}
+	below := make([]agg, n)
+	for v := n - 1; v >= 0; v-- {
+		nd := &t.Nodes[v]
+		if nd.Point >= 0 {
+			below[v] = agg{cnt: 1}
+		}
+		for _, c := range nd.Children {
+			below[v].cnt += below[c].cnt
+			below[v].sum += below[c].sum + float64(below[c].cnt)*t.Nodes[c].Weight
+		}
+	}
+	total := t.NumPoints()
+	// above[v]: Σ distance from v to all leaves OUTSIDE v's subtree.
+	above := make([]float64, n)
+	for v := 1; v < n; v++ {
+		p := t.Nodes[v].Parent
+		w := t.Nodes[v].Weight
+		outCnt := total - below[v].cnt
+		// Leaves outside v: reachable through p. Distance = w + their
+		// distance to p. Their distance to p = (above[p] + below[p].sum −
+		// (below[v].sum + cnt(v)·w)).
+		distToP := above[p] + below[p].sum - (below[v].sum + float64(below[v].cnt)*w)
+		above[v] = distToP + float64(outCnt)*w
+	}
+	point, best := -1, 0.0
+	for pt, leaf := range t.Leaf {
+		d := below[leaf].sum + above[leaf]
+		if point == -1 || d < best {
+			point, best = pt, d
+		}
+	}
+	return point, best
+}

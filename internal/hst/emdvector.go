@@ -1,0 +1,46 @@
+package hst
+
+// EMDVector embeds a measure on the data points into ℓ1 through the tree:
+// one coordinate per non-root node, valued weight(edge) × (mass in the
+// subtree below it). For measures mu, nu of equal total mass,
+//
+//	‖EMDVector(mu) − EMDVector(nu)‖₁ = tree-EMD(mu, nu),
+//
+// so the tree embedding yields an ℓ1 embedding of Earth-Mover distance —
+// the connection behind the paper's Section 1.3.4 remark that an
+// o(log n)-distortion tree embedding would beat the long-standing
+// EMD-into-ℓ1 state of the art [51]. The vector has one entry per tree
+// edge (NumNodes()−1), and is sparse when the measure is concentrated.
+func (t *Tree) EMDVector(mu []float64) []float64 {
+	if len(mu) != t.NumPoints() {
+		panic("hst: EMDVector measure length mismatch")
+	}
+	mass := make([]float64, len(t.Nodes))
+	for p, m := range mu {
+		mass[t.Leaf[p]] += m
+	}
+	for v := len(t.Nodes) - 1; v > 0; v-- {
+		mass[t.Nodes[v].Parent] += mass[v]
+	}
+	out := make([]float64, len(t.Nodes)-1)
+	for v := 1; v < len(t.Nodes); v++ {
+		out[v-1] = t.Nodes[v].Weight * mass[v]
+	}
+	return out
+}
+
+// L1Dist returns the ℓ1 distance between two equal-length vectors.
+func L1Dist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("hst: L1Dist length mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}

@@ -1,0 +1,50 @@
+package hst
+
+import (
+	"bytes"
+	"testing"
+
+	"mpctree/internal/rng"
+)
+
+// FuzzReadTree hardens the binary deserializer: arbitrary input must
+// either parse into a tree that passes Validate, or return an error —
+// never panic, never produce a malformed tree. Run continuously with
+// `go test -fuzz=FuzzReadTree ./internal/hst`; the seed corpus (valid
+// trees plus truncations and bit flips) runs in every normal test pass.
+func FuzzReadTree(f *testing.F) {
+	r := rng.New(1)
+	for trial := 0; trial < 4; trial++ {
+		tr := randomHST(r, 2+r.Intn(20))
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		data := buf.Bytes()
+		f.Add(data)
+		if len(data) > 10 {
+			f.Add(data[:len(data)-7])
+			flipped := append([]byte(nil), data...)
+			flipped[len(flipped)/2] ^= 0x40
+			f.Add(flipped)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("mpctree1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTree(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("ReadTree accepted an invalid tree: %v", verr)
+		}
+		// Basic queries must not panic on any accepted tree.
+		if tr.NumPoints() > 1 {
+			_ = tr.Dist(0, 1)
+		}
+		_ = tr.SubtreeCounts()
+		_ = tr.MSTCost()
+	})
+}

@@ -1,0 +1,177 @@
+// Serialization for trees: a compact binary format (WriteTo/ReadFrom) for
+// persisting embeddings — the paper's motivation of "maintaining a
+// space-efficient embedding of a dataset before computation" — and a
+// Graphviz DOT export for inspection.
+package hst
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// magic identifies the binary tree format (and its version).
+var magic = [8]byte{'m', 'p', 'c', 't', 'r', 'e', 'e', '1'}
+
+// WriteTo serialises the tree in a compact binary format. The derived
+// arrays (depths, LCA tables) are rebuilt on load, so only the structure
+// travels: ~3 words per node.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	put := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		n, err := bw.Write(buf[:])
+		written += int64(n)
+		return err
+	}
+	if n, err := bw.Write(magic[:]); err != nil {
+		return int64(n), err
+	}
+	written += int64(len(magic))
+	if err := put(uint64(len(t.Nodes))); err != nil {
+		return written, err
+	}
+	if err := put(uint64(len(t.Leaf))); err != nil {
+		return written, err
+	}
+	for _, nd := range t.Nodes {
+		if err := put(uint64(int64(nd.Parent))); err != nil {
+			return written, err
+		}
+		if err := put(math.Float64bits(nd.Weight)); err != nil {
+			return written, err
+		}
+		if err := put(uint64(int64(nd.Level))<<32 | uint64(uint32(int32(nd.Point)))); err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadTree deserialises a tree written by WriteTo and rebuilds all
+// derived structures. The result is validated before being returned.
+func ReadTree(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("hst: reading magic: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("hst: bad magic %q", hdr[:])
+	}
+	get := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	nNodes, err := get()
+	if err != nil {
+		return nil, err
+	}
+	nLeaves, err := get()
+	if err != nil {
+		return nil, err
+	}
+	const sanity = 1 << 32
+	if nNodes == 0 || nNodes > sanity || nLeaves > nNodes {
+		return nil, fmt.Errorf("hst: implausible sizes: %d nodes, %d leaves", nNodes, nLeaves)
+	}
+	// Read incrementally BEFORE any size-driven allocation: a lying header
+	// must cost no more memory than the actual stream length provides.
+	type rawNode struct {
+		parent int
+		weight float64
+		level  int
+		point  int
+	}
+	var raw []rawNode
+	seenLeaves := 0
+	for v := 0; v < int(nNodes); v++ {
+		parentU, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("hst: truncated stream at node %d: %w", v, err)
+		}
+		weightU, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("hst: truncated stream at node %d: %w", v, err)
+		}
+		packed, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("hst: truncated stream at node %d: %w", v, err)
+		}
+		n := rawNode{
+			parent: int(int64(parentU)),
+			weight: math.Float64frombits(weightU),
+			level:  int(int64(packed) >> 32),
+			point:  int(int32(uint32(packed))),
+		}
+		if v == 0 {
+			if n.parent != -1 || n.point != -1 {
+				return nil, fmt.Errorf("hst: stream node 0 is not a root")
+			}
+		} else {
+			if n.parent < 0 || n.parent >= v {
+				return nil, fmt.Errorf("hst: node %d has invalid parent %d", v, n.parent)
+			}
+			if n.point >= 0 {
+				if n.point >= int(nLeaves) {
+					return nil, fmt.Errorf("hst: leaf point %d out of range", n.point)
+				}
+				seenLeaves++
+			}
+		}
+		raw = append(raw, n)
+	}
+	if seenLeaves != int(nLeaves) {
+		return nil, fmt.Errorf("hst: stream has %d leaves, header claims %d", seenLeaves, nLeaves)
+	}
+	b := NewBuilder(int(nLeaves))
+	for v := 1; v < len(raw); v++ {
+		n := raw[v]
+		if n.point >= 0 {
+			// Duplicate points would panic in AddLeaf; reject instead.
+			if b.t.Leaf[n.point] != -1 {
+				return nil, fmt.Errorf("hst: point %d appears twice", n.point)
+			}
+			b.AddLeaf(n.parent, n.weight, n.level, n.point)
+		} else {
+			b.AddNode(n.parent, n.weight, n.level)
+		}
+	}
+	// Missing leaves would panic in Finish; already excluded by the
+	// seenLeaves check plus duplicate rejection.
+	t := b.Finish()
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("hst: deserialised tree invalid: %w", err)
+	}
+	return t, nil
+}
+
+// DOT renders the tree in Graphviz format. Leaves are labelled with their
+// point indices, internal nodes with their level; edges carry weights.
+// Intended for small trees (inspection/teaching).
+func (t *Tree) DOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph hst {")
+	fmt.Fprintln(bw, "  rankdir=TB; node [shape=circle, fontsize=10];")
+	for v, nd := range t.Nodes {
+		if nd.Point >= 0 {
+			fmt.Fprintf(bw, "  n%d [shape=box, label=\"p%d\"];\n", v, nd.Point)
+		} else {
+			fmt.Fprintf(bw, "  n%d [label=\"L%d\"];\n", v, nd.Level)
+		}
+	}
+	for v, nd := range t.Nodes {
+		if nd.Parent >= 0 {
+			fmt.Fprintf(bw, "  n%d -> n%d [label=\"%.3g\"];\n", nd.Parent, v, nd.Weight)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,343 @@
+// Package mpc is an in-process simulator of the Massively Parallel
+// Computation model (Section 1.1 of the paper; Karloff–Suri–Vassilvitskii,
+// Beame–Koutris–Suciu).
+//
+// A Cluster is a set of logical machines, each with a local memory cap of
+// CapWords 64-bit words — the fully scalable regime sets
+// CapWords = Θ((n·d)^ε). Computation proceeds in rounds: in a round every
+// machine runs an arbitrary local computation over its resident records
+// and emits messages to other machines; messages are delivered at the
+// round boundary. The simulator enforces the model's constraints and
+// meters its cost measures:
+//
+//   - a machine may neither send nor end a round holding more than
+//     CapWords words (violations abort the computation with
+//     ErrLocalMemory — they mean the *algorithm* does not fit the model);
+//   - Metrics tracks rounds, the peak per-machine residency, the peak
+//     total space, and cumulative communication volume.
+//
+// Machines execute concurrently (one goroutine each) but all scheduling
+// nondeterminism is confined to the round boundary, where messages are
+// merged in sender order — so a seeded program is bit-reproducible
+// regardless of interleaving.
+//
+// Loading input (Distribute) and reading output (Collect) model the
+// initial data placement and final result readout; they are not rounds.
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Record is the unit of storage and communication: a routing/grouping key
+// plus small typed payloads. Its footprint is measured in 64-bit words.
+type Record struct {
+	Key  string    // routing and grouping key; may be empty
+	Tag  uint8     // application-defined record kind
+	Ints []int64   // integer payload
+	Data []float64 // floating-point payload
+}
+
+// Words returns the storage footprint of the record in 64-bit words:
+// one word of header/tag plus the packed key, integer, and float payloads.
+func (r Record) Words() int {
+	return 1 + (len(r.Key)+7)/8 + len(r.Ints) + len(r.Data)
+}
+
+// WordsOf sums the footprint of a record slice.
+func WordsOf(recs []Record) int {
+	w := 0
+	for _, r := range recs {
+		w += r.Words()
+	}
+	return w
+}
+
+// Metrics are the MPC cost measures of everything the cluster has run.
+type Metrics struct {
+	Rounds        int // communication rounds executed
+	MaxLocalWords int // peak words resident on any machine at any round end
+	TotalSpace    int // peak sum of resident words across machines
+	CommWords     int // cumulative words sent over all rounds
+}
+
+// Config sizes a cluster.
+type Config struct {
+	Machines int // number of machines (≥ 1)
+	CapWords int // local memory per machine in words (≥ 1)
+}
+
+// FullyScalableCap returns c·(n·d)^eps rounded up — the paper's local
+// memory budget for input size n·d, with an explicit constant because
+// asymptotic bounds need one to become runnable.
+func FullyScalableCap(n, d int, eps float64, c float64) int {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("mpc: eps=%v out of (0,1)", eps))
+	}
+	cap := c * math.Pow(float64(n)*float64(d), eps)
+	if cap < 1 {
+		return 1
+	}
+	return int(math.Ceil(cap))
+}
+
+// Cluster simulates an MPC deployment. Not safe for concurrent use by
+// multiple driver goroutines; the per-round machine concurrency is
+// internal.
+type Cluster struct {
+	cfg    Config
+	stores [][]Record
+	m      Metrics
+	failed error
+
+	trace      bool
+	roundStats []RoundStat
+}
+
+// Errors returned by cluster operations.
+var (
+	ErrLocalMemory = errors.New("mpc: local memory cap exceeded")
+	ErrBadMachine  = errors.New("mpc: message to nonexistent machine")
+	ErrFailed      = errors.New("mpc: cluster previously failed")
+)
+
+// New creates a cluster with empty machine stores.
+func New(cfg Config) *Cluster {
+	if cfg.Machines < 1 {
+		panic("mpc: need at least one machine")
+	}
+	if cfg.CapWords < 1 {
+		panic("mpc: need positive local memory")
+	}
+	return &Cluster{cfg: cfg, stores: make([][]Record, cfg.Machines)}
+}
+
+// Machines returns the machine count.
+func (c *Cluster) Machines() int { return c.cfg.Machines }
+
+// CapWords returns the per-machine local memory cap.
+func (c *Cluster) CapWords() int { return c.cfg.CapWords }
+
+// Metrics returns the cost measures accumulated so far.
+func (c *Cluster) Metrics() Metrics { return c.m }
+
+// Err returns the sticky failure, if any.
+func (c *Cluster) Err() error { return c.failed }
+
+// Store exposes machine m's resident records for inspection (driver-side;
+// treat as read-only).
+func (c *Cluster) Store(m int) []Record { return c.stores[m] }
+
+func (c *Cluster) fail(err error) error {
+	if c.failed == nil {
+		c.failed = err
+	}
+	return err
+}
+
+// refreshSpace recomputes residency metrics after stores changed.
+func (c *Cluster) refreshSpace() error {
+	total := 0
+	for m, st := range c.stores {
+		w := WordsOf(st)
+		total += w
+		if w > c.m.MaxLocalWords {
+			c.m.MaxLocalWords = w
+		}
+		if w > c.cfg.CapWords {
+			return c.fail(fmt.Errorf("%w: machine %d holds %d words (cap %d)", ErrLocalMemory, m, w, c.cfg.CapWords))
+		}
+	}
+	if total > c.m.TotalSpace {
+		c.m.TotalSpace = total
+	}
+	return nil
+}
+
+// Distribute loads input records onto machines in contiguous chunks,
+// balancing by words. Models the MPC input placement; costs no rounds.
+func (c *Cluster) Distribute(recs []Record) error {
+	if c.failed != nil {
+		return ErrFailed
+	}
+	target := (WordsOf(recs) + c.cfg.Machines - 1) / c.cfg.Machines
+	m, w := 0, 0
+	for _, r := range recs {
+		rw := r.Words()
+		if w+rw > target && w > 0 && m < c.cfg.Machines-1 {
+			m++
+			w = 0
+		}
+		c.stores[m] = append(c.stores[m], r)
+		w += rw
+	}
+	return c.refreshSpace()
+}
+
+// DistributeBy loads input records routing each through to(i, rec).
+func (c *Cluster) DistributeBy(recs []Record, to func(i int, rec Record) int) error {
+	if c.failed != nil {
+		return ErrFailed
+	}
+	for i, r := range recs {
+		m := to(i, r)
+		if m < 0 || m >= c.cfg.Machines {
+			return c.fail(fmt.Errorf("%w: %d", ErrBadMachine, m))
+		}
+		c.stores[m] = append(c.stores[m], r)
+	}
+	return c.refreshSpace()
+}
+
+// Collect gathers every machine's store in machine order (driver-side
+// readout; costs no rounds).
+func (c *Cluster) Collect() []Record {
+	var out []Record
+	for _, st := range c.stores {
+		out = append(out, st...)
+	}
+	return out
+}
+
+// Emit sends a record to machine `to` during a round.
+type Emit func(to int, rec Record)
+
+// RoundFunc is one machine's work in a round: compute over the local
+// store, emit messages, and return the records to retain locally.
+// Returning nil drops everything not re-emitted to self.
+type RoundFunc func(m int, local []Record, emit Emit) (keep []Record)
+
+// Round executes one MPC round with every machine running fn
+// concurrently. It enforces the model: per-machine send volume ≤ cap,
+// and per-machine residency after delivery ≤ cap.
+func (c *Cluster) Round(fn RoundFunc) error {
+	if c.failed != nil {
+		return ErrFailed
+	}
+	M := c.cfg.Machines
+	type msg struct {
+		to  int
+		rec Record
+	}
+	outs := make([][]msg, M)
+	keeps := make([][]Record, M)
+	errs := make([]error, M)
+
+	var wg sync.WaitGroup
+	wg.Add(M)
+	for m := 0; m < M; m++ {
+		go func(m int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[m] = fmt.Errorf("mpc: machine %d panicked: %v", m, p)
+				}
+			}()
+			emit := func(to int, rec Record) {
+				outs[m] = append(outs[m], msg{to: to, rec: rec})
+			}
+			keeps[m] = fn(m, c.stores[m], emit)
+		}(m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return c.fail(err)
+		}
+	}
+
+	// Validate send volumes and destinations.
+	stat := RoundStat{Index: c.m.Rounds}
+	recv := make([]int, M)
+	for m := 0; m < M; m++ {
+		sent := 0
+		for _, ms := range outs[m] {
+			if ms.to < 0 || ms.to >= M {
+				return c.fail(fmt.Errorf("%w: machine %d sent to %d", ErrBadMachine, m, ms.to))
+			}
+			w := ms.rec.Words()
+			sent += w
+			recv[ms.to] += w
+		}
+		if sent > c.cfg.CapWords {
+			return c.fail(fmt.Errorf("%w: machine %d sent %d words (cap %d)", ErrLocalMemory, m, sent, c.cfg.CapWords))
+		}
+		c.m.CommWords += sent
+		stat.SentWords += sent
+		if sent > stat.MaxSent {
+			stat.MaxSent = sent
+		}
+	}
+	for _, r := range recv {
+		if r > stat.MaxReceived {
+			stat.MaxReceived = r
+		}
+	}
+
+	// Deliver in sender order for determinism.
+	for m := 0; m < M; m++ {
+		c.stores[m] = keeps[m]
+	}
+	for m := 0; m < M; m++ {
+		for _, ms := range outs[m] {
+			c.stores[ms.to] = append(c.stores[ms.to], ms.rec)
+		}
+	}
+	c.m.Rounds++
+	err := c.refreshSpace()
+	if c.trace {
+		for _, st := range c.stores {
+			if w := WordsOf(st); w > stat.MaxResidency {
+				stat.MaxResidency = w
+			}
+		}
+		c.roundStats = append(c.roundStats, stat)
+	}
+	return err
+}
+
+// LocalMap applies a purely local transformation to every machine's store.
+// Local computation is free in MPC (it happens within a round), so this
+// costs no round — but the result must still fit in local memory.
+func (c *Cluster) LocalMap(fn func(m int, local []Record) []Record) error {
+	if c.failed != nil {
+		return ErrFailed
+	}
+	M := c.cfg.Machines
+	errs := make([]error, M)
+	var wg sync.WaitGroup
+	wg.Add(M)
+	for m := 0; m < M; m++ {
+		go func(m int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[m] = fmt.Errorf("mpc: machine %d panicked: %v", m, p)
+				}
+			}()
+			c.stores[m] = fn(m, c.stores[m])
+		}(m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return c.fail(err)
+		}
+	}
+	return c.refreshSpace()
+}
+
+// SortRecords orders records by (Key, Tag) — the canonical local sort used
+// by the shuffle primitives. Stable so equal keys preserve arrival order.
+func SortRecords(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].Key != recs[j].Key {
+			return recs[i].Key < recs[j].Key
+		}
+		return recs[i].Tag < recs[j].Tag
+	})
+}

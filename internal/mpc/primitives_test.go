@@ -1,0 +1,329 @@
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"mpctree/internal/rng"
+)
+
+func TestBroadcastReachesAll(t *testing.T) {
+	for _, M := range []int{1, 2, 3, 7, 16} {
+		c := New(Config{Machines: M, CapWords: 64})
+		blob := []Record{rec("blob", 1, 2, 3)}
+		if err := c.Broadcast(0, blob); err != nil {
+			t.Fatalf("M=%d: %v", M, err)
+		}
+		for m := 0; m < M; m++ {
+			found := false
+			for _, r := range c.Store(m) {
+				if r.Key == "blob" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("M=%d: machine %d missing blob", M, m)
+			}
+		}
+	}
+}
+
+func TestBroadcastRoundsLogarithmic(t *testing.T) {
+	// Blob of ~5 words, cap 10 ⇒ fanout 2 ⇒ rounds ≈ log₃ M.
+	c := New(Config{Machines: 27, CapWords: 10})
+	blob := []Record{rec("b", 1, 2, 3)} // 5 words
+	if err := c.Broadcast(0, blob); err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Metrics().Rounds; r > 4 {
+		t.Errorf("broadcast to 27 machines with fanout 2 took %d rounds", r)
+	}
+}
+
+func TestBroadcastOversizeBlob(t *testing.T) {
+	c := New(Config{Machines: 4, CapWords: 4})
+	blob := []Record{rec("big", 1, 2, 3, 4, 5, 6, 7, 8)}
+	if err := c.Broadcast(0, blob); !errors.Is(err, ErrLocalMemory) {
+		t.Fatalf("want ErrLocalMemory, got %v", err)
+	}
+}
+
+func TestBroadcastFromNonzeroSource(t *testing.T) {
+	c := New(Config{Machines: 5, CapWords: 100})
+	if err := c.Broadcast(3, []Record{rec("x", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 5; m++ {
+		if len(c.Store(m)) != 1 {
+			t.Fatalf("machine %d has %d records", m, len(c.Store(m)))
+		}
+	}
+}
+
+func TestShuffleByKeyGroups(t *testing.T) {
+	c := New(Config{Machines: 4, CapWords: 1000})
+	var recs []Record
+	for i := 0; i < 60; i++ {
+		recs = append(recs, rec(fmt.Sprintf("key%d", i%5), float64(i)))
+	}
+	if err := c.Distribute(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ShuffleByKey(); err != nil {
+		t.Fatal(err)
+	}
+	// Each key must be entirely on one machine.
+	home := map[string]int{}
+	for m := 0; m < 4; m++ {
+		for _, r := range c.Store(m) {
+			if prev, ok := home[r.Key]; ok && prev != m {
+				t.Fatalf("key %q split across machines %d and %d", r.Key, prev, m)
+			}
+			home[r.Key] = m
+		}
+	}
+	if got := len(c.Collect()); got != 60 {
+		t.Errorf("records lost in shuffle: %d", got)
+	}
+}
+
+func TestAggregateByKeySums(t *testing.T) {
+	c := New(Config{Machines: 4, CapWords: 1000})
+	var recs []Record
+	want := map[string]float64{}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", i%7)
+		recs = append(recs, rec(k, 1))
+		want[k]++
+	}
+	if err := c.Distribute(recs); err != nil {
+		t.Fatal(err)
+	}
+	sum := func(a, b Record) Record {
+		a.Data[0] += b.Data[0]
+		return a
+	}
+	if err := c.AggregateByKey(sum); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, r := range c.Collect() {
+		if _, dup := got[r.Key]; dup {
+			t.Fatalf("key %q not fully aggregated", r.Key)
+		}
+		got[r.Key] = r.Data[0]
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("key %q: got %v, want %v", k, got[k], w)
+		}
+	}
+}
+
+// Map-side combining must keep AggregateByKey within caps even when one
+// key appears on every machine many times (the hot-edge case of tree
+// assembly): each machine sends one record per distinct key.
+func TestAggregateByKeyHotKeyWithinCap(t *testing.T) {
+	M := 8
+	c := New(Config{Machines: M, CapWords: 64})
+	// 20 copies of the same hot key per machine: raw shuffle would ship
+	// 20·8 = 160 records (480 words) to one machine, over cap. Combined:
+	// 8 records.
+	err := c.LocalMap(func(m int, local []Record) []Record {
+		for i := 0; i < 20; i++ {
+			local = append(local, rec("hot", 1))
+		}
+		return local
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(a, b Record) Record { a.Data[0] += b.Data[0]; return a }
+	if err := c.AggregateByKey(sum); err != nil {
+		t.Fatal(err)
+	}
+	all := c.Collect()
+	if len(all) != 1 || all[0].Data[0] != 160 {
+		t.Fatalf("hot key aggregation wrong: %+v", all)
+	}
+}
+
+func TestReduceGlobal(t *testing.T) {
+	for _, M := range []int{1, 2, 5, 9} {
+		c := New(Config{Machines: M, CapWords: 256})
+		var recs []Record
+		total := 0.0
+		for i := 0; i < 37; i++ {
+			recs = append(recs, rec("x", float64(i)))
+			total += float64(i)
+		}
+		if err := c.Distribute(recs); err != nil {
+			t.Fatal(err)
+		}
+		sum := func(a, b Record) Record { a.Data[0] += b.Data[0]; return a }
+		if err := c.Reduce(0, sum); err != nil {
+			t.Fatalf("M=%d: %v", M, err)
+		}
+		st := c.Store(0)
+		if len(st) != 1 || st[0].Data[0] != total {
+			t.Fatalf("M=%d: reduce result %+v, want %v", M, st, total)
+		}
+		// No leftovers elsewhere.
+		for m := 1; m < M; m++ {
+			if len(c.Store(m)) != 0 {
+				t.Fatalf("M=%d: machine %d still holds records", M, m)
+			}
+		}
+	}
+}
+
+func TestReduceToNonzeroDst(t *testing.T) {
+	c := New(Config{Machines: 4, CapWords: 100})
+	if err := c.Distribute([]Record{rec("x", 1), rec("x", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	sum := func(a, b Record) Record { a.Data[0] += b.Data[0]; return a }
+	if err := c.Reduce(2, sum); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Store(2)) != 1 || c.Store(2)[0].Data[0] != 3 {
+		t.Fatalf("reduce to dst=2 wrong: %+v", c.Store(2))
+	}
+}
+
+func TestSortByKeyGlobalOrder(t *testing.T) {
+	r := rng.New(5)
+	for _, M := range []int{1, 3, 8} {
+		c := New(Config{Machines: M, CapWords: 4096})
+		var recs []Record
+		for i := 0; i < 300; i++ {
+			recs = append(recs, rec(fmt.Sprintf("k%06d", r.Intn(10000)), float64(i)))
+		}
+		if err := c.Distribute(recs); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SortByKey(); err != nil {
+			t.Fatalf("M=%d: %v", M, err)
+		}
+		// Global order: concatenation of stores is sorted; count preserved.
+		var keys []string
+		for m := 0; m < M; m++ {
+			for _, rc := range c.Store(m) {
+				if rc.Tag == TagSample || rc.Tag == TagSplitter {
+					t.Fatal("control record leaked into output")
+				}
+				keys = append(keys, rc.Key)
+			}
+		}
+		if len(keys) != 300 {
+			t.Fatalf("M=%d: %d records after sort", M, len(keys))
+		}
+		if !sort.StringsAreSorted(keys) {
+			t.Fatalf("M=%d: global order violated", M)
+		}
+	}
+}
+
+func TestSortByKeyKeepsEqualKeysTogether(t *testing.T) {
+	c := New(Config{Machines: 4, CapWords: 4096})
+	var recs []Record
+	for i := 0; i < 200; i++ {
+		recs = append(recs, rec(fmt.Sprintf("g%d", i%3), float64(i)))
+	}
+	if err := c.Distribute(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SortByKey(); err != nil {
+		t.Fatal(err)
+	}
+	home := map[string]int{}
+	for m := 0; m < 4; m++ {
+		for _, r := range c.Store(m) {
+			if prev, ok := home[r.Key]; ok && prev != m {
+				t.Fatalf("equal keys split across machines %d and %d", prev, m)
+			}
+			home[r.Key] = m
+		}
+	}
+}
+
+func TestCombineByKeyOrderStable(t *testing.T) {
+	recs := []Record{rec("b", 1), rec("a", 1), rec("b", 2), rec("c", 1), rec("a", 3)}
+	sum := func(a, b Record) Record { a.Data[0] += b.Data[0]; return a }
+	out := combineByKey(recs, sum)
+	if len(out) != 3 || out[0].Key != "b" || out[0].Data[0] != 3 || out[1].Key != "a" || out[1].Data[0] != 4 {
+		t.Fatalf("combineByKey = %+v", out)
+	}
+}
+
+// End-to-end determinism of a multi-primitive pipeline.
+func TestPipelineDeterminism(t *testing.T) {
+	run := func() []Record {
+		c := New(Config{Machines: 5, CapWords: 4096})
+		var recs []Record
+		for i := 0; i < 120; i++ {
+			recs = append(recs, rec(fmt.Sprintf("k%d", i%11), 1))
+		}
+		if err := c.Distribute(recs); err != nil {
+			t.Fatal(err)
+		}
+		sum := func(a, b Record) Record { a.Data[0] += b.Data[0]; return a }
+		if err := c.AggregateByKey(sum); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SortByKey(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Collect()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic record count")
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Data[0] != b[i].Data[0] {
+			t.Fatal("nondeterministic pipeline output")
+		}
+	}
+}
+
+func BenchmarkRound(b *testing.B) {
+	c := New(Config{Machines: 8, CapWords: 1 << 20})
+	var recs []Record
+	for i := 0; i < 1000; i++ {
+		recs = append(recs, rec(fmt.Sprintf("k%d", i), float64(i)))
+	}
+	if err := c.Distribute(recs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := c.Round(func(m int, local []Record, emit Emit) []Record {
+			return local
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSortByKey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := New(Config{Machines: 8, CapWords: 1 << 20})
+		r := rng.New(uint64(i))
+		var recs []Record
+		for j := 0; j < 5000; j++ {
+			recs = append(recs, rec(fmt.Sprintf("k%08d", r.Intn(1<<30))))
+		}
+		if err := c.Distribute(recs); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := c.SortByKey(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

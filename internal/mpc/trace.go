@@ -1,0 +1,39 @@
+// Round-level tracing: optional per-round cost records for reports and
+// regression tests. Enable with EnableTrace; every Round (including those
+// issued by the shuffle primitives) then appends a RoundStat.
+package mpc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RoundStat is the cost profile of one communication round.
+type RoundStat struct {
+	Index        int // 0-based round number
+	SentWords    int // total words sent this round
+	MaxSent      int // largest per-machine send volume
+	MaxReceived  int // largest per-machine receive volume
+	MaxResidency int // largest per-machine residency after delivery
+}
+
+// EnableTrace turns on per-round stat collection (off by default; the
+// slice grows by one entry per round).
+func (c *Cluster) EnableTrace() { c.trace = true }
+
+// Trace returns the collected per-round stats (nil unless EnableTrace was
+// called before the rounds ran).
+func (c *Cluster) Trace() []RoundStat { return c.roundStats }
+
+// FormatTrace renders the trace as an aligned table.
+func FormatTrace(stats []RoundStat) string {
+	if len(stats) == 0 {
+		return "(no trace)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-12s %-10s %-10s %-12s\n", "round", "sent", "max sent", "max recv", "max resident")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-6d %-12d %-10d %-10d %-12d\n", s.Index, s.SentWords, s.MaxSent, s.MaxReceived, s.MaxResidency)
+	}
+	return b.String()
+}

@@ -1,0 +1,600 @@
+// Package mpcembed implements Algorithm 2 of the paper: the fully scalable
+// MPC hybrid-partitioning tree embedding (the core of Theorem 1).
+//
+// The round structure follows the paper's four steps (dimension reduction,
+// Section 5, happens upstream in the pipeline package):
+//
+//  1. the point-set diameter is computed with an aggregation-tree Reduce
+//     (the paper assumes Δ is known; we compute it in O(log_f M) = O(1)
+//     rounds for completeness);
+//  2. one machine draws all U·r·logΔ grids — Lemma 7 sizes U, and Lemma 8's
+//     constraint that the grids fit in one machine's memory is enforced
+//     before a single grid is drawn: if they cannot fit (as with r = 1 ball
+//     partitioning, where U = 2^Ω(d log d)), the algorithm fails loudly,
+//     which is precisely the paper's argument for why hybridisation is
+//     necessary — and broadcasts them;
+//  3. every machine computes path(p) for each of its points with purely
+//     local work: per level and bucket, the first grid whose ball covers
+//     the bucket projection. Cluster identities along the path are chained
+//     128-bit hashes of the per-level, per-bucket ball ids — the path(p)
+//     tuples of Algorithm 2 in a fixed-width encoding;
+//  4. tree edges are deduplicated with one AggregateByKey round and the
+//     driver assembles the weighted tree (Algorithm 2's "T is the union of
+//     the returned T_i").
+//
+// Unlike the sequential embedding, paths run the full logΔ levels (no
+// early singleton cut-off), exactly as Algorithm 2 writes path(p); the
+// level schedule guarantees distinct points separate before the bottom.
+package mpcembed
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"mpctree/internal/grid"
+	"mpctree/internal/hst"
+	"mpctree/internal/mpc"
+	"mpctree/internal/partition"
+	"mpctree/internal/rng"
+	"mpctree/internal/vec"
+)
+
+// Record tags.
+const (
+	TagPoint uint8 = 30 // Key "pt|i", Ints [i], Data coords
+	TagGrid  uint8 = 31 // Key "g|lev|bucket|u", Ints [lev,bucket,u], Data shift
+	TagEdge  uint8 = 32 // Key childHash, Ints [level, parentHi, parentLo], Data [weight]
+	TagLeaf  uint8 = 33 // Key "leaf|i", Ints [i, level, parentHi, parentLo], Data [weight]
+	TagFail  uint8 = 34 // Ints [point, level, bucket]
+	TagBox   uint8 = 35 // Data [lo..., hi...]
+	TagPath  uint8 = 36 // Key "path|i", Ints [i, h1Hi, h1Lo, ..., hLHi, hLLo], Data [] — resident per-point ancestor path (EmitPaths)
+)
+
+// Options configures the MPC embedding.
+type Options struct {
+	// R is the bucket count; 0 selects r = Θ(log log n) as in Section 4.
+	R int
+	// MaxGrids caps U per (level, bucket); 0 applies the Lemma 7 bound at
+	// failure probability FailProb.
+	MaxGrids int
+	// FailProb is δ for the Lemma 7 bound; 0 means 0.001.
+	FailProb float64
+	// MinDist lower-bounds pairwise distances for the level schedule.
+	// 0 means 1 (integer-lattice inputs, as Theorem 1 assumes). The
+	// Theorem-1 pipeline passes (1−ξ) after the FJLT.
+	MinDist float64
+	// MaxLevels caps depth; 0 means 48.
+	MaxLevels int
+	// SeedDerivedGrids replaces the grid broadcast with local
+	// regeneration from the shared seed (the derandomised-placement
+	// trick): identical output tree, identical local-memory footprint,
+	// zero broadcast traffic and fewer rounds.
+	SeedDerivedGrids bool
+	// EmitPaths keeps one TagPath record per point resident on the
+	// machines after embedding: the point's full ancestor-hash path.
+	// Downstream O(1)-round applications (mpcapps: EMD, densest ball)
+	// aggregate over these instead of walking the tree level by level.
+	EmitPaths bool
+	// Compress merges unary chains in the assembled tree (Algorithm 2's
+	// full-depth paths leave long ones in sparse regions). The tree
+	// metric is preserved exactly; node counts typically shrink several-
+	// fold. Leave false when downstream code matches nodes to path
+	// hashes by level (mpcapps does not need it — it works on the
+	// resident path records, not the assembled tree).
+	Compress bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Info reports the run's accounting.
+type Info struct {
+	N, Dim, R  int
+	Levels     int
+	U          int // grids per (level, bucket)
+	GridWords  int // words of broadcast grid state (Lemma 8's quantity)
+	Diameter   float64
+	Rounds     int // MPC rounds consumed (from cluster metrics delta)
+	PeakLocal  int
+	TotalSpace int
+	CommWords  int
+}
+
+// ErrCoverage is returned when some point was uncovered at some level and
+// bucket after all U grids, the failure Theorem 1 reports.
+var ErrCoverage = errors.New("mpcembed: ball partitioning failed to cover all points")
+
+// ErrGridsDontFit is returned when the Lemma 7 grid count cannot fit in a
+// machine's memory — the regime where plain ball partitioning (r = 1) is
+// infeasible and hybridisation is required.
+var ErrGridsDontFit = errors.New("mpcembed: required grids exceed local memory; increase r (hybridise) or memory")
+
+// rootHash is the chain hash of the root cluster.
+func rootHash() [16]byte { var h [16]byte; return h }
+
+// chainNext extends a cluster chain hash with this level's joined ball id.
+func chainNext(prev [16]byte, levelID []byte) [16]byte {
+	h := fnv.New128a()
+	_, _ = h.Write(prev[:])
+	_, _ = h.Write(levelID)
+	var out [16]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// deriveGrid generates grid (lev, bucket, attempt) as a pure function of
+// the seed, so any machine can rebuild it without communication. Both the
+// broadcast and seed-derived modes use this derivation, making their
+// output trees identical for equal seeds. The byte-serial hash seeding
+// (rng.NewHashed) matters: a weaker XOR-multiply mix produced measurably
+// correlated shift sequences whose coverage had dead zones.
+func deriveGrid(seed uint64, lev, bucket, attempt, dim int, cell float64) grid.Grid {
+	return grid.New(rng.NewHashed(seed, 0x9d1d, uint64(lev), uint64(bucket), uint64(attempt)), dim, cell)
+}
+
+// autoR mirrors the sequential choice r = Θ(log log n).
+func autoR(n, d int) int {
+	if n < 4 {
+		return 1
+	}
+	r := int(math.Round(2 * math.Log2(math.Log2(float64(n)))))
+	if r < 1 {
+		r = 1
+	}
+	if r > d {
+		r = d
+	}
+	return r
+}
+
+// GridPlan reports, without running anything, the Lemma-7 grid count U
+// per (level, bucket) and the total words of grid state a machine must
+// hold (Lemma 8's quantity) to embed n points of dimension d with r
+// buckets over the given diameter range. minDist 0 means 1; failProb 0
+// means 0.01. Used by the ablation experiments and by capacity planning.
+func GridPlan(n, d, r int, diam, minDist, failProb float64) (u, levels, gridWords int) {
+	if minDist == 0 {
+		minDist = 1
+	}
+	if failProb == 0 {
+		failProb = 0.01
+	}
+	dPad := d
+	if d%r != 0 {
+		dPad = d + (r - d%r)
+	}
+	k := dPad / r
+	diamFactor := 2 * math.Sqrt(float64(r))
+	levels = 1
+	for w := diam / 2; diamFactor*w >= minDist && levels < 48; w /= 2 {
+		levels++
+	}
+	u = partition.HybridGridBound(k, n, r, levels, failProb)
+	grw := (mpc.Record{Key: "g|00|00|0000", Ints: []int64{0, 0, 0}, Data: make([]float64, k)}).Words()
+	gwf := float64(u) * float64(r) * float64(levels) * float64(grw)
+	gridWords = 1 << 50
+	if gwf < float64(1<<50) {
+		gridWords = int(gwf)
+	}
+	return u, levels, gridWords
+}
+
+// Embed runs Algorithm 2 over the cluster and returns the tree.
+func Embed(c *mpc.Cluster, pts []vec.Point, opt Options) (*hst.Tree, *Info, error) {
+	n := len(pts)
+	if n == 0 {
+		return nil, nil, errors.New("mpcembed: empty point set")
+	}
+	d := len(pts[0])
+	if d == 0 {
+		return nil, nil, errors.New("mpcembed: zero-dimensional points")
+	}
+	for i, p := range pts {
+		if len(p) != d {
+			return nil, nil, fmt.Errorf("mpcembed: point %d has dimension %d, want %d", i, len(p), d)
+		}
+	}
+	if opt.R < 0 || opt.R > d {
+		return nil, nil, fmt.Errorf("mpcembed: r=%d out of [1, d=%d]", opt.R, d)
+	}
+
+	baseRounds := c.Metrics().Rounds
+
+	// Input placement: one record per point (original dimension; padding
+	// to a bucket multiple is a local, distance-preserving operation each
+	// machine performs itself once r is fixed).
+	recs := make([]mpc.Record, n)
+	for i, p := range pts {
+		recs[i] = mpc.Record{Key: fmt.Sprintf("pt|%d", i), Tag: TagPoint, Ints: []int64{int64(i)}, Data: p}
+	}
+	if err := c.Distribute(recs); err != nil {
+		return nil, nil, err
+	}
+
+	// Step 1: diameter via bounding-box Reduce.
+	if err := c.LocalMap(func(m int, local []mpc.Record) []mpc.Record {
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		seen := false
+		for _, rec := range local {
+			if rec.Tag != TagPoint {
+				continue
+			}
+			if !seen {
+				copy(lo, rec.Data)
+				copy(hi, rec.Data)
+				seen = true
+				continue
+			}
+			for j, x := range rec.Data {
+				if x < lo[j] {
+					lo[j] = x
+				}
+				if x > hi[j] {
+					hi[j] = x
+				}
+			}
+		}
+		if seen {
+			local = append(local, mpc.Record{Key: "box", Tag: TagBox, Data: append(append([]float64{}, lo...), hi...)})
+		}
+		return local
+	}); err != nil {
+		return nil, nil, err
+	}
+	// Reduce box records only: combine respects tags by treating non-box
+	// records as identities — but Reduce folds everything, so shuttle the
+	// box records onto their own pass: we filter into a combined record by
+	// key using AggregateByKey on key "box".
+	boxCombine := func(a, b mpc.Record) mpc.Record {
+		if a.Tag != TagBox {
+			return b
+		}
+		if b.Tag != TagBox {
+			return a
+		}
+		for j := 0; j < d; j++ {
+			if b.Data[j] < a.Data[j] {
+				a.Data[j] = b.Data[j]
+			}
+			if b.Data[d+j] > a.Data[d+j] {
+				a.Data[d+j] = b.Data[d+j]
+			}
+		}
+		return a
+	}
+	if err := c.AggregateByKey(func(a, b mpc.Record) mpc.Record {
+		if a.Key == "box" {
+			return boxCombine(a, b)
+		}
+		// Point keys are unique; aggregation never merges them.
+		return a
+	}); err != nil {
+		return nil, nil, err
+	}
+	var diam float64
+	for m := 0; m < c.Machines(); m++ {
+		for _, rec := range c.Store(m) {
+			if rec.Tag == TagBox {
+				var s float64
+				for j := 0; j < d; j++ {
+					dd := rec.Data[d+j] - rec.Data[j]
+					s += dd * dd
+				}
+				diam = math.Sqrt(s)
+			}
+		}
+	}
+	if diam == 0 {
+		if n > 1 {
+			return nil, nil, errors.New("mpcembed: points are not distinct (diameter 0)")
+		}
+		b := hst.NewBuilder(1)
+		b.AddLeaf(b.Root(), 0, 1, 0)
+		return b.Finish(), &Info{N: 1, Dim: d, R: 1}, nil
+	}
+
+	minDist := opt.MinDist
+	if minDist == 0 {
+		minDist = 1
+	}
+	maxLevels := opt.MaxLevels
+	if maxLevels == 0 {
+		maxLevels = 48
+	}
+	failProb := opt.FailProb
+	if failProb == 0 {
+		failProb = 0.001
+	}
+
+	// Choose r: the caller's explicit value, or the smallest r ≥
+	// Θ(log log n) whose Lemma-7 grid count fits one machine's memory —
+	// the Lemma 8 constraint. Larger r costs √r distortion but shrinks the
+	// per-bucket dimension k = d/r and with it the 2^Θ(k log k) grid count;
+	// this is the paper's grid↔ball trade-off made operational.
+	type plan struct {
+		r, dPad, k, levels, u int
+		gridRecWords          int
+		gridWords             int
+		diamFactor            float64
+	}
+	mkPlan := func(r int) plan {
+		dPad := d
+		if d%r != 0 {
+			dPad = d + (r - d%r)
+		}
+		k := dPad / r
+		diamFactor := 2 * math.Sqrt(float64(r))
+		levels := 1
+		for w := diam / 2; diamFactor*w >= minDist && levels < maxLevels; w /= 2 {
+			levels++
+		}
+		u := opt.MaxGrids
+		if u == 0 {
+			u = partition.HybridGridBound(k, n, r, levels, failProb)
+		}
+		grw := (mpc.Record{Key: "g|00|00|0000", Ints: []int64{0, 0, 0}, Data: make([]float64, k)}).Words()
+		gwf := float64(u) * float64(r) * float64(levels) * float64(grw)
+		gw := 1 << 50 // sentinel: certainly over any cap
+		if gwf < float64(1<<50) {
+			gw = int(gwf)
+		}
+		return plan{r: r, dPad: dPad, k: k, levels: levels, u: u, gridRecWords: grw, gridWords: gw, diamFactor: diamFactor}
+	}
+	var pl plan
+	if opt.R != 0 {
+		pl = mkPlan(opt.R)
+	} else {
+		for r := autoR(n, d); ; r++ {
+			pl = mkPlan(r)
+			if pl.gridWords <= c.CapWords() || r >= d {
+				break
+			}
+		}
+	}
+	r := pl.r
+	k := pl.k
+	dPad := pl.dPad
+	levels := pl.levels
+	u := pl.u
+	diamFactor := pl.diamFactor
+
+	info := &Info{N: n, Dim: dPad, R: r, Levels: levels, U: u, Diameter: diam, GridWords: pl.gridWords}
+
+	// Step 2: Lemma 8 check, then grid generation on machine 0 and
+	// broadcast. A single grid record costs (k + 4)-ish words.
+	if info.GridWords > c.CapWords() {
+		return nil, info, fmt.Errorf("%w: %d grids × %d words = %d > cap %d (r=%d, k=%d, U=%d)",
+			ErrGridsDontFit, u*r*levels, pl.gridRecWords, info.GridWords, c.CapWords(), r, k, u)
+	}
+	gridBlob := make([]mpc.Record, 0, u*r*levels)
+	for lev := 1; lev <= levels; lev++ {
+		w := diam / math.Pow(2, float64(lev))
+		for j := 0; j < r; j++ {
+			for uu := 0; uu < u; uu++ {
+				g := deriveGrid(opt.Seed, lev, j, uu, k, 4*w)
+				gridBlob = append(gridBlob, mpc.Record{
+					Key:  fmt.Sprintf("g|%d|%d|%d", lev, j, uu),
+					Tag:  TagGrid,
+					Ints: []int64{int64(lev), int64(j), int64(uu)},
+					Data: g.Shift,
+				})
+			}
+		}
+	}
+	if opt.SeedDerivedGrids {
+		// Derandomised-placement variant: every machine regenerates the
+		// grids from the shared O(1)-word seed — zero broadcast traffic,
+		// but the grid state still occupies (and is charged against)
+		// local memory exactly as in the broadcast variant.
+		if err := c.LocalMap(func(m int, local []mpc.Record) []mpc.Record {
+			return append(local, gridBlob...)
+		}); err != nil {
+			return nil, info, err
+		}
+	} else if err := c.Broadcast(0, gridBlob); err != nil {
+		return nil, info, err
+	}
+
+	// Step 3: local path computation + edge emission (map-side dedup).
+	M := c.Machines()
+	err := c.Round(func(m int, local []mpc.Record, emit mpc.Emit) []mpc.Record {
+		// Parse grids.
+		type gk struct{ lev, j, u int }
+		grids := make(map[gk]grid.Grid)
+		var points []mpc.Record
+		for _, rec := range local {
+			switch rec.Tag {
+			case TagGrid:
+				grids[gk{int(rec.Ints[0]), int(rec.Ints[1]), int(rec.Ints[2])}] = grid.Grid{Dim: k, Cell: 4 * diam / math.Pow(2, float64(rec.Ints[0])), Shift: rec.Data}
+			case TagPoint:
+				points = append(points, rec)
+			}
+		}
+		seenEdge := make(map[string]bool)
+		var scratch [16]int64
+		var keepPaths []mpc.Record
+		for _, prec := range points {
+			pid := int(prec.Ints[0])
+			p := prec.Data
+			if len(p) < dPad {
+				padded := make(vec.Point, dPad)
+				copy(padded, p)
+				p = padded
+			}
+			cur := rootHash()
+			w := diam / 2
+			ok := true
+			var pathInts []int64
+			if opt.EmitPaths {
+				pathInts = append(pathInts, int64(pid))
+			}
+			for lev := 1; lev <= levels && ok; lev++ {
+				// Joined ball id across buckets.
+				var levelID []byte
+				for j := 0; j < r && ok; j++ {
+					proj := vec.Bucket(p, j, r)
+					covered := false
+					for uu := 0; uu < u; uu++ {
+						g := grids[gk{lev, j, uu}]
+						if idx, in := g.InBall(proj, w, scratch[:0]); in {
+							levelID = append(levelID, byte(j))
+							var ub [8]byte
+							binary.LittleEndian.PutUint64(ub[:], uint64(uu))
+							levelID = append(levelID, ub[:]...)
+							for _, v := range idx {
+								var vb [8]byte
+								binary.LittleEndian.PutUint64(vb[:], uint64(v))
+								levelID = append(levelID, vb[:]...)
+							}
+							covered = true
+							break
+						}
+					}
+					if !covered {
+						key := fmt.Sprintf("fail|%d|%d|%d", pid, lev, j)
+						emit(hashTo(key, M), mpc.Record{Key: key, Tag: TagFail, Ints: []int64{int64(pid), int64(lev), int64(j)}})
+						ok = false
+					}
+				}
+				if !ok {
+					break
+				}
+				next := chainNext(cur, levelID)
+				edgeKey := string(next[:])
+				if !seenEdge[edgeKey] {
+					seenEdge[edgeKey] = true
+					emit(hashTo(edgeKey, M), mpc.Record{
+						Key:  edgeKey,
+						Tag:  TagEdge,
+						Ints: []int64{int64(lev), int64(binary.LittleEndian.Uint64(cur[:8])), int64(binary.LittleEndian.Uint64(cur[8:]))},
+						Data: []float64{diamFactor * w},
+					})
+				}
+				cur = next
+				if opt.EmitPaths {
+					pathInts = append(pathInts, int64(binary.LittleEndian.Uint64(cur[:8])), int64(binary.LittleEndian.Uint64(cur[8:])))
+				}
+				w /= 2
+			}
+			if ok && opt.EmitPaths {
+				keepPaths = append(keepPaths, mpc.Record{Key: fmt.Sprintf("path|%d", pid), Tag: TagPath, Ints: pathInts})
+			}
+			if ok {
+				// Terminal leaf edge at level levels+1.
+				emit(hashTo(fmt.Sprintf("leaf|%d", pid), M), mpc.Record{
+					Key:  fmt.Sprintf("leaf|%d", pid),
+					Tag:  TagLeaf,
+					Ints: []int64{int64(pid), int64(levels + 1), int64(binary.LittleEndian.Uint64(cur[:8])), int64(binary.LittleEndian.Uint64(cur[8:]))},
+					Data: []float64{diamFactor * w},
+				})
+			}
+		}
+		return keepPaths // grids and points are consumed; paths (if requested) stay resident
+	})
+	if err != nil {
+		return nil, info, err
+	}
+
+	// Step 4: dedup edges across machines.
+	if err := c.AggregateByKey(func(a, b mpc.Record) mpc.Record { return a }); err != nil {
+		return nil, info, err
+	}
+
+	fillMetrics(c, info, baseRounds)
+
+	// Driver-side assembly.
+	t, err := assemble(c, n, levels)
+	if err != nil {
+		return nil, info, err
+	}
+	if opt.Compress {
+		t = t.Compress()
+	}
+	return t, info, nil
+}
+
+func fillMetrics(c *mpc.Cluster, info *Info, baseRounds int) {
+	m := c.Metrics()
+	info.Rounds = m.Rounds - baseRounds
+	info.PeakLocal = m.MaxLocalWords
+	info.TotalSpace = m.TotalSpace
+	info.CommWords = m.CommWords
+}
+
+func hashTo(key string, machines int) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum64() % uint64(machines))
+}
+
+// assemble reads the deduplicated edge and leaf records off the cluster
+// and builds the hst.Tree.
+func assemble(c *mpc.Cluster, n, levels int) (*hst.Tree, error) {
+	type edge struct {
+		child  string
+		parent string
+		level  int
+		weight float64
+	}
+	var edges []edge
+	type leafRec struct {
+		point  int
+		level  int
+		parent string
+		weight float64
+	}
+	var leaves []leafRec
+	for _, rec := range c.Collect() {
+		switch rec.Tag {
+		case TagFail:
+			return nil, fmt.Errorf("%w (point %d, level %d, bucket %d)", ErrCoverage, rec.Ints[0], rec.Ints[1], rec.Ints[2])
+		case TagEdge:
+			var parent [16]byte
+			binary.LittleEndian.PutUint64(parent[:8], uint64(rec.Ints[1]))
+			binary.LittleEndian.PutUint64(parent[8:], uint64(rec.Ints[2]))
+			edges = append(edges, edge{child: rec.Key, parent: string(parent[:]), level: int(rec.Ints[0]), weight: rec.Data[0]})
+		case TagLeaf:
+			var parent [16]byte
+			binary.LittleEndian.PutUint64(parent[:8], uint64(rec.Ints[2]))
+			binary.LittleEndian.PutUint64(parent[8:], uint64(rec.Ints[3]))
+			leaves = append(leaves, leafRec{point: int(rec.Ints[0]), level: int(rec.Ints[1]), parent: string(parent[:]), weight: rec.Data[0]})
+		}
+	}
+	if len(leaves) != n {
+		return nil, fmt.Errorf("mpcembed: %d leaf records for %d points", len(leaves), n)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].level != edges[j].level {
+			return edges[i].level < edges[j].level
+		}
+		return edges[i].child < edges[j].child
+	})
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].point < leaves[j].point })
+
+	b := hst.NewBuilder(n)
+	rh := rootHash()
+	nodeOf := map[string]int{string(rh[:]): b.Root()}
+	for _, e := range edges {
+		parent, ok := nodeOf[e.parent]
+		if !ok {
+			return nil, fmt.Errorf("mpcembed: edge at level %d references unknown parent", e.level)
+		}
+		nodeOf[e.child] = b.AddNode(parent, e.weight, e.level)
+	}
+	for _, lf := range leaves {
+		parent, ok := nodeOf[lf.parent]
+		if !ok {
+			return nil, fmt.Errorf("mpcembed: leaf %d references unknown parent", lf.point)
+		}
+		b.AddLeaf(parent, lf.weight, lf.level, lf.point)
+	}
+	t := b.Finish()
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("mpcembed: assembled invalid tree: %v", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,301 @@
+package mpcembed
+
+import (
+	"errors"
+	"testing"
+
+	"mpctree/internal/mpc"
+	"mpctree/internal/rng"
+	"mpctree/internal/vec"
+)
+
+func latticePts(t testing.TB, seed uint64, n, d, delta int) []vec.Point {
+	t.Helper()
+	r := rng.New(seed)
+	seen := map[string]bool{}
+	pts := make([]vec.Point, 0, n)
+	for len(pts) < n {
+		p := make(vec.Point, d)
+		key := ""
+		for j := range p {
+			v := 1 + r.Intn(delta)
+			p[j] = float64(v)
+			key += string(rune(v)) + ","
+		}
+		if !seen[key] {
+			seen[key] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func bigCluster(machines int) *mpc.Cluster {
+	return mpc.New(mpc.Config{Machines: machines, CapWords: 1 << 22})
+}
+
+func TestEmbedDomination(t *testing.T) {
+	pts := latticePts(t, 1, 80, 4, 64)
+	for seed := uint64(0); seed < 3; seed++ {
+		c := bigCluster(4)
+		tr, info, err := Embed(c, pts, Options{R: 2, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v (info %+v)", seed, err, info)
+		}
+		for i := 0; i < len(pts); i++ {
+			for j := i + 1; j < len(pts); j++ {
+				if tr.Dist(i, j) < vec.Dist(pts[i], pts[j])-1e-9 {
+					t.Fatalf("domination violated for (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+// Theorem 1: O(1) rounds — the MPC round count must not grow with n.
+func TestConstantRounds(t *testing.T) {
+	var rounds []int
+	for _, n := range []int{32, 128, 512} {
+		pts := latticePts(t, 2, n, 4, 128)
+		c := bigCluster(8)
+		_, info, err := Embed(c, pts, Options{R: 2, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds = append(rounds, info.Rounds)
+	}
+	// All runs share the machine count, so broadcast depth is equal;
+	// round counts must be identical across n.
+	if rounds[0] != rounds[1] || rounds[1] != rounds[2] {
+		t.Errorf("rounds grew with n: %v", rounds)
+	}
+	if rounds[0] > 12 {
+		t.Errorf("suspiciously many rounds: %v", rounds)
+	}
+}
+
+func TestResultsIndependentOfMachineCount(t *testing.T) {
+	pts := latticePts(t, 3, 60, 4, 64)
+	dist := func(machines int) [][]float64 {
+		c := bigCluster(machines)
+		tr, _, err := Embed(c, pts, Options{R: 2, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]float64, len(pts))
+		for i := range out {
+			out[i] = make([]float64, len(pts))
+			for j := range out[i] {
+				out[i][j] = tr.Dist(i, j)
+			}
+		}
+		return out
+	}
+	a := dist(2)
+	b := dist(7)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("metric differs between 2 and 7 machines at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGridsDontFitReportsFailure(t *testing.T) {
+	// r=1 in 8 dimensions: U = 2^Ω(d log d) grids cannot fit in a small
+	// machine — the Lemma 8 check must fire with ErrGridsDontFit before
+	// any work happens. This is the paper's core argument for hybrid
+	// partitioning.
+	pts := latticePts(t, 4, 64, 8, 64)
+	c := mpc.New(mpc.Config{Machines: 4, CapWords: 1 << 15})
+	_, _, err := Embed(c, pts, Options{R: 1, Seed: 5})
+	if !errors.Is(err, ErrGridsDontFit) {
+		t.Fatalf("want ErrGridsDontFit, got %v", err)
+	}
+	// With r=4 (k=2 per bucket) the same cluster succeeds.
+	c2 := mpc.New(mpc.Config{Machines: 4, CapWords: 1 << 15})
+	if _, _, err := Embed(c2, pts, Options{R: 4, Seed: 5}); err != nil {
+		t.Fatalf("hybrid with r=4 should fit: %v", err)
+	}
+}
+
+func TestCoverageFailureReported(t *testing.T) {
+	pts := latticePts(t, 5, 100, 4, 64)
+	c := bigCluster(4)
+	// One grid per (level,bucket) with k=4: coverage is hopeless and must
+	// be reported as ErrCoverage, matching Theorem 1's failure mode.
+	_, _, err := Embed(c, pts, Options{R: 1, MaxGrids: 1, Seed: 6})
+	if !errors.Is(err, ErrCoverage) {
+		t.Fatalf("want ErrCoverage, got %v", err)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	c := bigCluster(2)
+	tr, _, err := Embed(c, []vec.Point{{5, 5}}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumPoints() != 1 {
+		t.Error("single point tree wrong")
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	c := bigCluster(2)
+	if _, _, err := Embed(c, nil, Options{}); err == nil {
+		t.Error("empty accepted")
+	}
+	c2 := bigCluster(2)
+	if _, _, err := Embed(c2, []vec.Point{{1, 2}, {1}}, Options{}); err == nil {
+		t.Error("ragged accepted")
+	}
+	c3 := bigCluster(2)
+	if _, _, err := Embed(c3, []vec.Point{{1, 1}, {1, 1}}, Options{}); err == nil {
+		t.Error("duplicates accepted")
+	}
+	c4 := bigCluster(2)
+	if _, _, err := Embed(c4, latticePts(t, 8, 8, 2, 16), Options{R: 5}); err == nil {
+		t.Error("r > d accepted")
+	}
+}
+
+func TestPaddingPath(t *testing.T) {
+	pts := latticePts(t, 9, 40, 5, 32) // r=2 ⇒ pad to 6
+	c := bigCluster(4)
+	tr, info, err := Embed(c, pts, Options{R: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Dim != 6 {
+		t.Errorf("padded dim = %d", info.Dim)
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if tr.Dist(i, j) < vec.Dist(pts[i], pts[j])-1e-9 {
+				t.Fatal("domination violated on padded input")
+			}
+		}
+	}
+}
+
+func TestInfoAccounting(t *testing.T) {
+	pts := latticePts(t, 10, 60, 4, 64)
+	c := bigCluster(4)
+	_, info, err := Embed(c, pts, Options{R: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.U < 1 || info.Levels < 3 || info.GridWords <= 0 {
+		t.Errorf("accounting looks wrong: %+v", info)
+	}
+	if info.PeakLocal <= 0 || info.TotalSpace <= 0 || info.CommWords <= 0 {
+		t.Errorf("metrics not captured: %+v", info)
+	}
+	if info.Diameter <= 0 {
+		t.Error("diameter not computed")
+	}
+}
+
+// The MPC tree's distortion should be in the same ballpark as the
+// sequential hybrid embedding — compare mean distortion across seeds.
+func TestDistortionComparableToSequential(t *testing.T) {
+	pts := latticePts(t, 11, 50, 4, 128)
+	n := len(pts)
+	var mpcSum float64
+	var cnt int
+	for seed := uint64(0); seed < 5; seed++ {
+		c := bigCluster(4)
+		tr, _, err := Embed(c, pts, Options{R: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				mpcSum += tr.Dist(i, j) / vec.Dist(pts[i], pts[j])
+				cnt++
+			}
+		}
+	}
+	mean := mpcSum / float64(cnt)
+	if mean < 1 {
+		t.Errorf("mean distortion %v < 1: domination broken", mean)
+	}
+	if mean > 60 {
+		t.Errorf("mean distortion %v implausibly large", mean)
+	}
+}
+
+func BenchmarkEmbedMPC(b *testing.B) {
+	pts := latticePts(b, 1, 256, 4, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := bigCluster(8)
+		if _, _, err := Embed(c, pts, Options{R: 2, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The seed-derived grid mode must produce exactly the tree the broadcast
+// mode does, with strictly less communication and no more rounds.
+func TestSeedDerivedGridsEquivalent(t *testing.T) {
+	pts := latticePts(t, 12, 60, 4, 64)
+	cA := bigCluster(4)
+	trA, infoA, err := Embed(cA, pts, Options{R: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cB := bigCluster(4)
+	trB, infoB, err := Embed(cB, pts, Options{R: 2, Seed: 21, SeedDerivedGrids: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if trA.Dist(i, j) != trB.Dist(i, j) {
+				t.Fatalf("modes disagree at (%d,%d)", i, j)
+			}
+		}
+	}
+	if infoB.CommWords >= infoA.CommWords {
+		t.Errorf("seed mode comm %d not below broadcast mode %d", infoB.CommWords, infoA.CommWords)
+	}
+	if infoB.Rounds > infoA.Rounds {
+		t.Errorf("seed mode rounds %d exceed broadcast mode %d", infoB.Rounds, infoA.Rounds)
+	}
+	// Grid state is still resident: peak local must reflect it (the
+	// analytic GridWords uses a conservative key-width estimate, so allow
+	// a factor-2 cushion).
+	if infoB.PeakLocal < infoB.GridWords/2 {
+		t.Errorf("seed mode peak local %d below grid state %d/2 — storage not charged", infoB.PeakLocal, infoB.GridWords)
+	}
+}
+
+// Compress must shrink the full-depth MPC tree substantially while
+// preserving the metric exactly.
+func TestCompressOption(t *testing.T) {
+	pts := latticePts(t, 13, 50, 4, 256)
+	cA := bigCluster(4)
+	plain, _, err := Embed(cA, pts, Options{R: 2, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cB := bigCluster(4)
+	comp, _, err := Embed(cB, pts, Options{R: 2, Seed: 37, Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.NumNodes() >= plain.NumNodes() {
+		t.Errorf("compression did not shrink: %d vs %d nodes", comp.NumNodes(), plain.NumNodes())
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if diff := plain.Dist(i, j) - comp.Dist(i, j); diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("metric changed at (%d,%d)", i, j)
+			}
+		}
+	}
+	t.Logf("compression: %d → %d nodes", plain.NumNodes(), comp.NumNodes())
+}

@@ -1,0 +1,146 @@
+package mpctree
+
+import (
+	"testing"
+
+	"mpctree/internal/workload"
+)
+
+func TestFacadeEmbed(t *testing.T) {
+	pts := workload.UniformLattice(1, 60, 4, 64)
+	tree, info, err := Embed(pts, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Method != Hybrid {
+		t.Errorf("default method = %v", info.Method)
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if tree.Dist(i, j) < Dist(pts[i], pts[j])-1e-9 {
+				t.Fatal("domination violated through facade")
+			}
+		}
+	}
+}
+
+func TestFacadeEmbedMPC(t *testing.T) {
+	pts := workload.UniformLattice(2, 40, 4, 64)
+	tree, info, err := EmbedMPC(pts, MPCOptions{Machines: 4, CapWords: 1 << 22, Seed: 3})
+	if err != nil {
+		t.Fatalf("%v (info %+v)", err, info)
+	}
+	if info.Machines != 4 || info.Metrics.Rounds == 0 {
+		t.Errorf("MPC accounting missing: %+v", info)
+	}
+	if tree.NumPoints() != len(pts) {
+		t.Error("wrong leaf count")
+	}
+}
+
+func TestFacadeEmbedMPCDefaults(t *testing.T) {
+	pts := workload.UniformLattice(3, 30, 3, 64)
+	// Default cap may or may not fit the grids for this tiny instance;
+	// both a success and a clean model-level error are acceptable — what
+	// is not acceptable is a panic or a malformed tree.
+	tree, info, err := EmbedMPC(pts, MPCOptions{Seed: 5})
+	if err != nil {
+		t.Logf("default-cap run reported: %v (cap=%d)", err, info.CapWords)
+		return
+	}
+	if tree.NumPoints() != len(pts) {
+		t.Error("wrong leaf count")
+	}
+}
+
+func TestFacadeFJLT(t *testing.T) {
+	pts := workload.SparseBinary(4, 30, 256, 2, 100)
+	mapped, err := FJLT(pts, FJLTOptions{Xi: 0.3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mapped) != len(pts) {
+		t.Fatal("length mismatch")
+	}
+	if len(mapped[0]) >= 256 {
+		t.Errorf("FJLT did not reduce dimension: %d", len(mapped[0]))
+	}
+	if out, err := FJLT(nil, FJLTOptions{}); err != nil || out != nil {
+		t.Error("empty FJLT should be a no-op")
+	}
+}
+
+func TestFacadeApps(t *testing.T) {
+	pts := workload.GaussianClusters(5, 50, 3, 3, 2, 256)
+	tree, _, err := Embed(pts, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ExactMST(pts)
+	approx := ApproxMST(pts, tree)
+	var ce, ca float64
+	for _, e := range exact {
+		ce += e.Weight
+	}
+	for _, e := range approx {
+		ca += e.Weight
+	}
+	if ca < ce-1e-9 {
+		t.Error("approx MST beat exact")
+	}
+
+	n := len(pts)
+	mu := make([]float64, n)
+	nu := make([]float64, n)
+	for i := 0; i < n/2; i++ {
+		mu[i] = 1
+		nu[n-1-i] = 1
+	}
+	te := ApproxEMD(tree, mu, nu)
+	ee, err := ExactEMD(pts, mu, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if te < ee-1e-6 {
+		t.Error("approx EMD beat exact")
+	}
+
+	db := DensestBall(tree, 10, 64)
+	if db.Count < 1 {
+		t.Error("densest ball found nothing")
+	}
+	if db.Node >= 0 {
+		if got := len(ClusterMembers(tree, db.Node)); got != db.Count {
+			t.Errorf("members %d != count %d", got, db.Count)
+		}
+	}
+	if eb := ExactDensestBall(pts, 10); eb.Count < 1 {
+		t.Error("exact densest ball found nothing")
+	}
+}
+
+func TestFacadeDistributedEmbedding(t *testing.T) {
+	pts := workload.GaussianClusters(9, 40, 3, 3, 4, 256)
+	e, err := NewDistributedEmbedding(pts, MPCOptions{Machines: 4, CapWords: 1 << 22, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(pts)
+	mu := make([]float64, n)
+	nu := make([]float64, n)
+	mu[0], nu[n-1] = 1, 1
+	got, err := e.EMD(mu, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := e.Tree.EMD(mu, nu); got != want {
+		t.Fatalf("distributed EMD %v != tree EMD %v", got, want)
+	}
+	db, err := e.DensestBall(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Count < 1 {
+		t.Error("densest ball found nothing")
+	}
+}
