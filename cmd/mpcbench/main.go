@@ -28,6 +28,9 @@ func main() {
 	quick := flag.Bool("quick", false, "CI-sized workloads")
 	seed := flag.Uint64("seed", 12345, "master seed")
 	list := flag.Bool("list", false, "list experiments and exit")
+	faults := flag.Float64("faults", 0, "per-round fault-injection probability for E16-Chaos (0 = its built-in rate ladder)")
+	faultSeed := flag.Uint64("fault-seed", 0, "fault-schedule seed (0 = derive from -seed)")
+	maxRetries := flag.Int("max-retries", 0, "per-stage retry budget for E16-Chaos (0 = default)")
 	flag.Parse()
 
 	if *list {
@@ -41,7 +44,7 @@ func main() {
 	if *exp != "" {
 		ids = []string{*exp}
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Faults: *faults, FaultSeed: *faultSeed, MaxRetries: *maxRetries}
 	failed := 0
 	for _, id := range ids {
 		start := time.Now()

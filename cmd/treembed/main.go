@@ -40,6 +40,10 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		useMPC   = flag.Bool("mpc", false, "run the full MPC pipeline (FJLT + Algorithm 2)")
 		machines = flag.Int("machines", 8, "simulated machines (with -mpc)")
+
+		faults     = flag.Float64("faults", 0, "per-round fault-injection probability per class (with -mpc); enables resilient execution")
+		faultSeed  = flag.Uint64("fault-seed", 0, "fault-schedule seed (0 = derive from -seed)")
+		maxRetries = flag.Int("max-retries", 0, "per-stage retry budget under -faults (0 = auto 40, -1 = none)")
 		saveTo   = flag.String("save", "", "write the embedding tree (binary) to this file")
 		dotTo    = flag.String("dot", "", "write the tree as Graphviz DOT to this file")
 	)
@@ -53,7 +57,21 @@ func main() {
 	fmt.Printf("points: %d, dimension: %d\n", len(pts), len(pts[0]))
 
 	if *useMPC {
-		tree, info, err := mpctree.EmbedMPC(pts, mpctree.MPCOptions{Machines: *machines, CapWords: 1 << 22, Seed: *seed})
+		mopt := mpctree.MPCOptions{Machines: *machines, CapWords: 1 << 22, Seed: *seed}
+		if *faults > 0 {
+			fs := *faultSeed
+			if fs == 0 {
+				fs = *seed ^ 0xC4A05
+			}
+			mopt.Faults = mpctree.UniformFaults(fs, *faults)
+			mopt.Pipeline.Resilient = true
+			budget := *maxRetries
+			if budget == 0 {
+				budget = 40 // five fault classes compound; the driver's default 3 is for single-digit rates
+			}
+			mopt.Pipeline.Retry = mpctree.RetryOptions{MaxRetries: budget}
+		}
+		tree, info, err := mpctree.EmbedMPC(pts, mopt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "treembed:", err)
 			os.Exit(1)
@@ -67,6 +85,17 @@ func main() {
 		if info.EmbedInfo != nil {
 			fmt.Printf("hybrid: r=%d, %d levels, U=%d grids/(level,bucket), grid state %d words\n",
 				info.EmbedInfo.R, info.EmbedInfo.Levels, info.EmbedInfo.U, info.EmbedInfo.GridWords)
+		}
+		if *faults > 0 {
+			fmt.Printf("chaos: %d faults injected (%d crashes, %d transient, %d drop, %d dup, %d pressure)\n",
+				info.Faults.Injected(), info.Faults.Crashes, info.Faults.Transients,
+				info.Faults.Drops, info.Faults.Duplicates, info.Faults.Pressures)
+			fmt.Printf("recovery: %d attempts, %d restores, %d rounds rolled back, %d ckpt words, %d ms virtual backoff\n",
+				info.Attempts, info.Recovery.Restores, info.Recovery.RolledBackRounds,
+				info.Recovery.CheckpointWords, info.VirtualBackoffMs)
+			if info.Degraded {
+				fmt.Printf("DEGRADED: %s (embedded original un-reduced points)\n", info.DegradedReason)
+			}
 		}
 		return
 	}

@@ -11,6 +11,7 @@ import (
 	"mpctree/internal/hst"
 	"mpctree/internal/mpc"
 	"mpctree/internal/mpcembed"
+	"mpctree/internal/resilient"
 	"mpctree/internal/vec"
 )
 
@@ -33,6 +34,20 @@ type PipelineOptions struct {
 	SkipJLBelow int
 	// Seed drives both stages.
 	Seed uint64
+
+	// Resilient executes each stage under the retrying driver: a
+	// checkpoint at every stage boundary, bounded retries after injected
+	// faults, and resource escalation after genuine memory-cap
+	// violations. Retries replay the stage with its original seed, so a
+	// recovered run's tree is bit-identical to the fault-free run's.
+	Resilient bool
+	// Retry tunes the retrying driver (zero value = resilient defaults);
+	// ignored unless Resilient is set.
+	Retry resilient.Options
+	// NoDegrade disables the degradation policy: when set, exhausting the
+	// FJLT stage's retry budget fails the pipeline instead of falling
+	// back to embedding the original, un-reduced points.
+	NoDegrade bool
 }
 
 // PipelineInfo aggregates accounting across both stages.
@@ -45,6 +60,20 @@ type PipelineInfo struct {
 	PeakLocal   int
 	TotalSpace  int
 	CommWords   int
+
+	// Degraded reports that the FJLT stage exhausted its retries and the
+	// pipeline fell back to embedding the original, un-reduced points
+	// (with MinDist left unadjusted — distances were never contracted).
+	Degraded       bool
+	DegradedReason string
+	// Recovery accounting (zero when nothing failed): stage attempts,
+	// resource escalations, virtual backoff charged by the retry driver,
+	// faults the cluster injected, and checkpoint/restore overhead.
+	Attempts         int
+	Escalations      int
+	VirtualBackoffMs int64
+	Faults           mpc.FaultStats
+	Recovery         mpc.RecoveryStats
 }
 
 // EmbedPipeline runs Theorem 1 on the cluster: reduce dimension with the
@@ -92,20 +121,58 @@ func EmbedPipeline(c *mpc.Cluster, pts []vec.Point, opt PipelineOptions) (*hst.T
 		minDist = 1
 	}
 
-	if d > skipBelow {
-		mapped, err := fjlt.ApplyMPC(c, pts, params, 0)
-		if err != nil {
-			return nil, info, err
+	retry := opt.Retry
+	if retry.Seed == 0 {
+		retry.Seed = opt.Seed ^ 0xB0FF
+	}
+	runStage := func(stage string, step func() error) error {
+		if !opt.Resilient {
+			return step()
 		}
-		info.UsedFJLT = true
-		info.FJLTRounds = c.Metrics().Rounds
-		work = mapped
-		// Distances contracted by at most (1−ξ) w.h.p.
-		minDist *= 1 - xi
-		// Clear transformed outputs off the cluster before the embedding
-		// stage loads its own records (driver handoff, not a round).
-		if err := c.LocalMap(func(m int, local []mpc.Record) []mpc.Record { return nil }); err != nil {
-			return nil, info, err
+		st, err := resilient.Run(c, stage, retry, func(int) error { return step() })
+		info.Attempts += st.Attempts
+		info.Escalations += st.Escalations
+		info.VirtualBackoffMs += st.VirtualBackoffMs
+		return err
+	}
+	fillRecovery := func() {
+		info.Faults = c.FaultStats()
+		info.Recovery = c.Recovery()
+	}
+
+	if d > skipBelow {
+		ferr := runStage("fjlt", func() error {
+			mapped, err := fjlt.ApplyMPC(c, pts, params, 0)
+			if err != nil {
+				return err
+			}
+			// Clear transformed outputs off the cluster before the
+			// embedding stage loads its own records (driver handoff, not
+			// a round).
+			if err := c.LocalMap(func(m int, local []mpc.Record) []mpc.Record { return nil }); err != nil {
+				return err
+			}
+			work = mapped
+			return nil
+		})
+		switch {
+		case ferr == nil:
+			info.UsedFJLT = true
+			info.FJLTRounds = c.Metrics().Rounds
+			// Distances contracted by at most (1−ξ) w.h.p.
+			minDist *= 1 - xi
+		case opt.Resilient && !opt.NoDegrade:
+			// Degradation policy: the reduction stage is unrecoverable,
+			// so embed the ORIGINAL points. MinDist stays unadjusted
+			// (distances were never contracted) and no rescale happens
+			// at the end. resilient.Run left the cluster restored to the
+			// stage-entry checkpoint.
+			info.Degraded = true
+			info.DegradedReason = ferr.Error()
+			work = pts
+		default:
+			fillRecovery()
+			return nil, info, ferr
 		}
 	}
 
@@ -116,13 +183,24 @@ func EmbedPipeline(c *mpc.Cluster, pts []vec.Point, opt PipelineOptions) (*hst.T
 	if eo.MinDist == 0 {
 		eo.MinDist = minDist
 	}
-	tree, einfo, err := mpcembed.Embed(c, work, eo)
+	var tree *hst.Tree
+	var einfo *mpcembed.Info
+	err = runStage("embed", func() error {
+		t, ei, err := mpcembed.Embed(c, work, eo)
+		einfo = ei // partial accounting survives a failed attempt
+		if err != nil {
+			return err
+		}
+		tree = t
+		return nil
+	})
 	info.EmbedInfo = einfo
 	m := c.Metrics()
 	info.TotalRounds = m.Rounds
 	info.PeakLocal = m.MaxLocalWords
 	info.TotalSpace = m.TotalSpace
 	info.CommWords = m.CommWords
+	fillRecovery()
 	if err != nil {
 		return nil, info, err
 	}

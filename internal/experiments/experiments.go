@@ -22,6 +22,8 @@
 //	E13-Cycle    the intro's cycle metric: Ω(n) per tree vs polylog expected
 //	E14-KMedian  extension: FRT's k-median, tree-seeded local search
 //	E15-Cor1MPC  Corollary 1 distributed: O(1)-round on-cluster queries
+//	E16-Chaos    robustness: Theorem-1 pipeline under injected faults —
+//	             recovery cost, and bit-identity with the fault-free run
 //
 // Each Run function takes a Config and returns a Result whose Checks are
 // asserted by the test suite and whose Tables are printed by
@@ -43,6 +45,17 @@ type Config struct {
 	Quick bool
 	// Seed makes the whole experiment deterministic.
 	Seed uint64
+
+	// Faults is the per-round, per-class fault-injection probability used
+	// by the chaos experiment (E16); 0 keeps E16's built-in rate ladder.
+	// Cluster-level experiments other than E16 run fault-free regardless.
+	Faults float64
+	// FaultSeed seeds the injection schedule independently of Seed;
+	// 0 derives it from Seed.
+	FaultSeed uint64
+	// MaxRetries overrides the resilient driver's per-stage retry budget
+	// in E16; 0 keeps the experiment's default.
+	MaxRetries int
 }
 
 // Check is one asserted property of a claim's shape.

@@ -189,7 +189,11 @@ func ApplyMPC(c *mpc.Cluster, pts []vec.Point, p Params, blockC int) ([]vec.Poin
 
 	// Driver-side readout.
 	out := make([]vec.Point, n)
-	for _, r := range c.Collect() {
+	recs, err := c.Collect()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
 		if r.Tag != TagOut {
 			continue
 		}

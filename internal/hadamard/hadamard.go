@@ -131,7 +131,11 @@ func CollectVectors(c *mpc.Cluster, n, d, blockC int) ([][]float64, error) {
 		out[i] = make([]float64, d)
 	}
 	seen := 0
-	for _, r := range c.Collect() {
+	recs, err := c.Collect()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
 		if r.Tag != TagRowBlock {
 			continue
 		}

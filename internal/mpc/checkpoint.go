@@ -1,0 +1,126 @@
+// Checkpoint/restore: snapshot the cluster's stores and metrics at a
+// stage boundary and roll back to it after a fault. Restoring clears the
+// sticky failure — it is the one sanctioned way to recover a poisoned
+// cluster. The word cost of snapshotting and restoring is metered
+// separately (RecoveryStats) so experiments can report recovery overhead
+// without it contaminating the model's own cost measures.
+package mpc
+
+// Checkpoint is an immutable snapshot of a cluster's state. It deep-copies
+// record payloads, so later in-place mutation by RoundFuncs (a common
+// idiom) cannot corrupt it, and one checkpoint can be restored repeatedly.
+type Checkpoint struct {
+	stores     [][]Record
+	metrics    Metrics
+	roundStats []RoundStat
+	words      int
+}
+
+// Words is the snapshot's size in 64-bit words (the recovery overhead a
+// real framework would pay in storage/IO to persist it).
+func (cp *Checkpoint) Words() int { return cp.words }
+
+// RecoveryStats meters fault-recovery overhead. Unlike Metrics it is NOT
+// rolled back by Restore — it exists precisely to account for work that
+// rollback erases from the primary meters.
+type RecoveryStats struct {
+	Checkpoints      int // snapshots taken
+	CheckpointWords  int // cumulative words snapshotted
+	Restores         int // rollbacks performed
+	RestoredWords    int // cumulative words copied back
+	RolledBackRounds int // rounds erased by rollbacks (wasted work)
+	RolledBackComm   int // comm words erased by rollbacks
+}
+
+// Recovery returns the recovery-overhead meters accumulated so far.
+func (c *Cluster) Recovery() RecoveryStats { return c.recovery }
+
+func deepCopyStores(stores [][]Record) ([][]Record, int) {
+	out := make([][]Record, len(stores))
+	words := 0
+	for m, st := range stores {
+		if len(st) == 0 {
+			continue
+		}
+		cp := make([]Record, len(st))
+		for i, r := range st {
+			cp[i] = Record{Key: r.Key, Tag: r.Tag}
+			if len(r.Ints) > 0 {
+				cp[i].Ints = append([]int64(nil), r.Ints...)
+			}
+			if len(r.Data) > 0 {
+				cp[i].Data = append([]float64(nil), r.Data...)
+			}
+			words += r.Words()
+		}
+		out[m] = cp
+	}
+	return out, words
+}
+
+// Checkpoint snapshots the stores, metrics, and trace. It may be taken on
+// a healthy or a failed cluster (a failed cluster's snapshot captures the
+// corrupted state — drivers checkpoint BEFORE risky stages, not after).
+func (c *Cluster) Checkpoint() *Checkpoint {
+	stores, words := deepCopyStores(c.stores)
+	cp := &Checkpoint{
+		stores:  stores,
+		metrics: c.m,
+		words:   words,
+	}
+	if c.trace {
+		cp.roundStats = append([]RoundStat(nil), c.roundStats...)
+	}
+	c.recovery.Checkpoints++
+	c.recovery.CheckpointWords += words
+	return cp
+}
+
+// Restore rolls the cluster back to the checkpoint: stores, metrics, and
+// trace return to their snapshotted values and the sticky failure is
+// cleared. The installed FaultPlan (and its tick) is deliberately left
+// alone — a retried round must see fresh fault draws. Restore panics if
+// the cluster has fewer machines than the checkpoint (clusters may Grow
+// between checkpoint and restore, never shrink); machines beyond the
+// snapshot are left empty.
+func (c *Cluster) Restore(cp *Checkpoint) {
+	if len(cp.stores) > c.cfg.Machines {
+		panic("mpc: restore into a smaller cluster")
+	}
+	if r := c.m.Rounds - cp.metrics.Rounds; r > 0 {
+		c.recovery.RolledBackRounds += r
+	}
+	if w := c.m.CommWords - cp.metrics.CommWords; w > 0 {
+		c.recovery.RolledBackComm += w
+	}
+	stores, words := deepCopyStores(cp.stores)
+	c.stores = make([][]Record, c.cfg.Machines)
+	copy(c.stores, stores)
+	c.m = cp.metrics
+	c.roundStats = append([]RoundStat(nil), cp.roundStats...)
+	c.failed = nil
+	c.recovery.Restores++
+	c.recovery.RestoredWords += words
+}
+
+// RaiseCap raises the per-machine memory cap to capWords — a retrying
+// driver escalating its resource ask. Lower values are ignored: shrinking
+// a cap under live residents would retroactively invalidate state the
+// model already admitted.
+func (c *Cluster) RaiseCap(capWords int) {
+	if capWords > c.cfg.CapWords {
+		c.cfg.CapWords = capWords
+	}
+}
+
+// Grow adds machines with empty stores (the other escalation lever).
+// Algorithms in this repository are machine-count independent, so growing
+// between stages preserves their output; growing mid-stage is the
+// driver's responsibility to avoid.
+func (c *Cluster) Grow(extra int) {
+	if extra <= 0 {
+		return
+	}
+	c.cfg.Machines += extra
+	c.stores = append(c.stores, make([][]Record, extra)...)
+}

@@ -23,6 +23,11 @@
 //
 // Loading input (Distribute) and reading output (Collect) model the
 // initial data placement and final result readout; they are not rounds.
+//
+// Failures: any model violation, machine panic, or injected fault (see
+// fault.go) marks the cluster failed; the failure is sticky until the
+// driver rolls back to a Checkpoint (checkpoint.go). docs/MODEL.md
+// ("Failure model & recovery") specifies the full semantics.
 package mpc
 
 import (
@@ -31,6 +36,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Record is the unit of storage and communication: a routing/grouping key
@@ -96,6 +102,9 @@ type Cluster struct {
 
 	trace      bool
 	roundStats []RoundStat
+
+	faults   *FaultPlan    // optional injection schedule (fault.go)
+	recovery RecoveryStats // checkpoint/restore overhead (checkpoint.go)
 }
 
 // Errors returned by cluster operations.
@@ -129,8 +138,14 @@ func (c *Cluster) Metrics() Metrics { return c.m }
 func (c *Cluster) Err() error { return c.failed }
 
 // Store exposes machine m's resident records for inspection (driver-side;
-// treat as read-only).
-func (c *Cluster) Store(m int) []Record { return c.stores[m] }
+// treat as read-only). Out-of-range m returns nil — the inspection
+// counterpart of the messaging paths' ErrBadMachine discipline.
+func (c *Cluster) Store(m int) []Record {
+	if m < 0 || m >= len(c.stores) {
+		return nil
+	}
+	return c.stores[m]
+}
 
 func (c *Cluster) fail(err error) error {
 	if c.failed == nil {
@@ -139,8 +154,10 @@ func (c *Cluster) fail(err error) error {
 	return err
 }
 
-// refreshSpace recomputes residency metrics after stores changed.
-func (c *Cluster) refreshSpace() error {
+// checkSpace recomputes residency metrics after stores changed and
+// returns a (not yet sticky) ErrLocalMemory error if any machine exceeds
+// capWords — which a fault injection may have temporarily reduced.
+func (c *Cluster) checkSpace(capWords int) error {
 	total := 0
 	for m, st := range c.stores {
 		w := WordsOf(st)
@@ -148,12 +165,20 @@ func (c *Cluster) refreshSpace() error {
 		if w > c.m.MaxLocalWords {
 			c.m.MaxLocalWords = w
 		}
-		if w > c.cfg.CapWords {
-			return c.fail(fmt.Errorf("%w: machine %d holds %d words (cap %d)", ErrLocalMemory, m, w, c.cfg.CapWords))
+		if w > capWords {
+			return fmt.Errorf("%w: machine %d holds %d words (cap %d)", ErrLocalMemory, m, w, capWords)
 		}
 	}
 	if total > c.m.TotalSpace {
 		c.m.TotalSpace = total
+	}
+	return nil
+}
+
+// refreshSpace checks residency against the configured cap.
+func (c *Cluster) refreshSpace() error {
+	if err := c.checkSpace(c.cfg.CapWords); err != nil {
+		return c.fail(err)
 	}
 	return nil
 }
@@ -194,13 +219,18 @@ func (c *Cluster) DistributeBy(recs []Record, to func(i int, rec Record) int) er
 }
 
 // Collect gathers every machine's store in machine order (driver-side
-// readout; costs no rounds).
-func (c *Cluster) Collect() []Record {
+// readout; costs no rounds). Reading a failed cluster returns the sticky
+// failure instead of partial garbage: the resident state after a fault is
+// not trustworthy output.
+func (c *Cluster) Collect() ([]Record, error) {
+	if c.failed != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFailed, c.failed)
+	}
 	var out []Record
 	for _, st := range c.stores {
 		out = append(out, st...)
 	}
-	return out
+	return out, nil
 }
 
 // Emit sends a record to machine `to` during a round.
@@ -213,11 +243,29 @@ type RoundFunc func(m int, local []Record, emit Emit) (keep []Record)
 
 // Round executes one MPC round with every machine running fn
 // concurrently. It enforces the model: per-machine send volume ≤ cap,
-// and per-machine residency after delivery ≤ cap.
+// and per-machine residency after delivery ≤ cap. If a FaultPlan is
+// installed, the round boundary may inject a fault (fault.go); injected
+// faults surface as ErrInjected-class errors and mark the cluster failed
+// until the driver restores a checkpoint.
 func (c *Cluster) Round(fn RoundFunc) error {
 	if c.failed != nil {
 		return ErrFailed
 	}
+	inj := injection{kind: FaultNone}
+	if c.faults != nil {
+		inj = c.faults.draw(c.cfg.Machines)
+	}
+	if inj.kind == FaultTransient {
+		// The round never starts: no state changes, but the computation
+		// is broken (sticky) until restored.
+		return c.fail(injectedTransientErr(inj.tick))
+	}
+	effCap := c.cfg.CapWords
+	pressured := inj.kind == FaultPressure
+	if pressured {
+		effCap = c.faults.pressuredCap(effCap)
+	}
+
 	M := c.cfg.Machines
 	type msg struct {
 		to  int
@@ -227,6 +275,10 @@ func (c *Cluster) Round(fn RoundFunc) error {
 	keeps := make([][]Record, M)
 	errs := make([]error, M)
 
+	// Latched at the round boundary: a RoundFunc that retains emit and
+	// calls it after the round ends would otherwise silently corrupt
+	// later accounting.
+	var roundOver atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(M)
 	for m := 0; m < M; m++ {
@@ -238,15 +290,50 @@ func (c *Cluster) Round(fn RoundFunc) error {
 				}
 			}()
 			emit := func(to int, rec Record) {
+				if roundOver.Load() {
+					panic(fmt.Sprintf("mpc: machine %d called emit after its round ended; RoundFuncs must not retain emit across rounds", m))
+				}
 				outs[m] = append(outs[m], msg{to: to, rec: rec})
 			}
 			keeps[m] = fn(m, c.stores[m], emit)
 		}(m)
 	}
 	wg.Wait()
+	roundOver.Store(true)
 	for _, err := range errs {
 		if err != nil {
 			return c.fail(err)
+		}
+	}
+
+	// Apply injected faults to the round's output before delivery.
+	var injErr error
+	switch inj.kind {
+	case FaultCrash:
+		// The victim's round output — kept records and sends — is lost,
+		// and so is its store (the machine died holding it).
+		outs[inj.machine] = nil
+		keeps[inj.machine] = nil
+		injErr = injectedCrashErr(inj.machine, inj.tick)
+	case FaultDrop, FaultDuplicate:
+		pm := c.faults.perMessage()
+		mangled := 0
+		for m := 0; m < M; m++ {
+			kept := make([]msg, 0, len(outs[m]))
+			for _, ms := range outs[m] {
+				if inj.r.Float64() < pm {
+					mangled++
+					if inj.kind == FaultDuplicate {
+						kept = append(kept, ms, ms)
+					}
+					continue
+				}
+				kept = append(kept, ms)
+			}
+			outs[m] = kept
+		}
+		if mangled > 0 {
+			injErr = injectedMangleErr(inj.kind, mangled, inj.tick)
 		}
 	}
 
@@ -263,8 +350,12 @@ func (c *Cluster) Round(fn RoundFunc) error {
 			sent += w
 			recv[ms.to] += w
 		}
-		if sent > c.cfg.CapWords {
-			return c.fail(fmt.Errorf("%w: machine %d sent %d words (cap %d)", ErrLocalMemory, m, sent, c.cfg.CapWords))
+		if sent > effCap {
+			err := fmt.Errorf("%w: machine %d sent %d words (cap %d)", ErrLocalMemory, m, sent, effCap)
+			if pressured {
+				err = injectedPressureErr(err, inj.tick)
+			}
+			return c.fail(err)
 		}
 		c.m.CommWords += sent
 		stat.SentWords += sent
@@ -288,7 +379,13 @@ func (c *Cluster) Round(fn RoundFunc) error {
 		}
 	}
 	c.m.Rounds++
-	err := c.refreshSpace()
+	err := c.checkSpace(effCap)
+	if err != nil && pressured {
+		err = injectedPressureErr(err, inj.tick)
+	}
+	if err != nil {
+		err = c.fail(err)
+	}
 	if c.trace {
 		for _, st := range c.stores {
 			if w := WordsOf(st); w > stat.MaxResidency {
@@ -297,7 +394,13 @@ func (c *Cluster) Round(fn RoundFunc) error {
 		}
 		c.roundStats = append(c.roundStats, stat)
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	if injErr != nil {
+		return c.fail(injErr)
+	}
+	return nil
 }
 
 // LocalMap applies a purely local transformation to every machine's store.

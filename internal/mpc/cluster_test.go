@@ -9,6 +9,15 @@ import (
 
 func rec(key string, vals ...float64) Record { return Record{Key: key, Data: vals} }
 
+func mustCollect(t testing.TB, c *Cluster) []Record {
+	t.Helper()
+	recs, err := c.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	return recs
+}
+
 func TestRecordWords(t *testing.T) {
 	r := Record{Key: "abcdefgh", Ints: []int64{1, 2}, Data: []float64{3}}
 	// 1 header + 1 key word + 2 ints + 1 float = 5.
@@ -37,7 +46,7 @@ func TestDistributeBalances(t *testing.T) {
 			t.Errorf("machine %d got %d records", m, n)
 		}
 	}
-	if got := len(c.Collect()); got != 40 {
+	if got := len(mustCollect(t, c)); got != 40 {
 		t.Errorf("Collect lost records: %d", got)
 	}
 	if c.Metrics().Rounds != 0 {

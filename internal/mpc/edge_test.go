@@ -10,7 +10,7 @@ func TestSortByKeyEmptyCluster(t *testing.T) {
 	if err := c.SortByKey(); err != nil {
 		t.Fatalf("sort of empty cluster failed: %v", err)
 	}
-	if len(c.Collect()) != 0 {
+	if len(mustCollect(t, c)) != 0 {
 		t.Error("records appeared from nowhere")
 	}
 }
@@ -121,7 +121,7 @@ func TestSingleMachinePrimitives(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 5 distinct point keys + blob.
-	if got := len(c.Collect()); got != 6 {
+	if got := len(mustCollect(t, c)); got != 6 {
 		t.Errorf("%d records after pipeline", got)
 	}
 }
@@ -137,7 +137,7 @@ func TestRoundKeepIdentity(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(c.Collect()); got != 2 {
+	if got := len(mustCollect(t, c)); got != 2 {
 		t.Errorf("record count changed through keep: %d", got)
 	}
 }

@@ -84,7 +84,7 @@ func TestShuffleByKeyGroups(t *testing.T) {
 			home[r.Key] = m
 		}
 	}
-	if got := len(c.Collect()); got != 60 {
+	if got := len(mustCollect(t, c)); got != 60 {
 		t.Errorf("records lost in shuffle: %d", got)
 	}
 }
@@ -109,7 +109,7 @@ func TestAggregateByKeySums(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := map[string]float64{}
-	for _, r := range c.Collect() {
+	for _, r := range mustCollect(t, c) {
 		if _, dup := got[r.Key]; dup {
 			t.Fatalf("key %q not fully aggregated", r.Key)
 		}
@@ -144,7 +144,7 @@ func TestAggregateByKeyHotKeyWithinCap(t *testing.T) {
 	if err := c.AggregateByKey(sum); err != nil {
 		t.Fatal(err)
 	}
-	all := c.Collect()
+	all := mustCollect(t, c)
 	if len(all) != 1 || all[0].Data[0] != 160 {
 		t.Fatalf("hot key aggregation wrong: %+v", all)
 	}
@@ -276,7 +276,7 @@ func TestPipelineDeterminism(t *testing.T) {
 		if err := c.SortByKey(); err != nil {
 			t.Fatal(err)
 		}
-		return c.Collect()
+		return mustCollect(t, c)
 	}
 	a, b := run(), run()
 	if len(a) != len(b) {

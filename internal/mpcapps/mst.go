@@ -144,7 +144,11 @@ func (e *Embedding) MST() ([]MSTEdge, error) {
 
 	// Driver readout + cleanup.
 	var edges []MSTEdge
-	for _, r := range c.Collect() {
+	recs, err := c.Collect()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
 		if r.Tag == tagMSTEdge {
 			edges = append(edges, MSTEdge{A: int(r.Ints[0]), B: int(r.Ints[1]), Weight: r.Data[0]})
 		}

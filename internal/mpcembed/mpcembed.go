@@ -548,7 +548,11 @@ func assemble(c *mpc.Cluster, n, levels int) (*hst.Tree, error) {
 		weight float64
 	}
 	var leaves []leafRec
-	for _, rec := range c.Collect() {
+	recs, err := c.Collect()
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
 		switch rec.Tag {
 		case TagFail:
 			return nil, fmt.Errorf("%w (point %d, level %d, bucket %d)", ErrCoverage, rec.Ints[0], rec.Ints[1], rec.Ints[2])

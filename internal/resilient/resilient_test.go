@@ -1,0 +1,262 @@
+package resilient
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mpctree/internal/mpc"
+)
+
+func loaded(t testing.TB, n int) *mpc.Cluster {
+	t.Helper()
+	c := mpc.New(mpc.Config{Machines: 2, CapWords: 1 << 12})
+	var recs []mpc.Record
+	for i := 0; i < n; i++ {
+		recs = append(recs, mpc.Record{Key: fmt.Sprintf("k%02d", i), Data: []float64{float64(i)}})
+	}
+	if err := c.Distribute(recs); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFirstTrySuccess(t *testing.T) {
+	c := loaded(t, 4)
+	st, err := Run(c, "ok", Options{}, func(attempt int) error {
+		if attempt != 0 {
+			t.Errorf("attempt = %d on first call", attempt)
+		}
+		return nil
+	})
+	if err != nil || st.Attempts != 1 || st.VirtualBackoffMs != 0 || st.Escalations != 0 {
+		t.Fatalf("st=%+v err=%v", st, err)
+	}
+}
+
+// Injected faults are retried from the checkpoint until the step succeeds.
+func TestRetriesInjectedFaultsThenSucceeds(t *testing.T) {
+	c := loaded(t, 4)
+	c.InjectFaults(&mpc.FaultPlan{Seed: 9, Transient: 1, MaxFaults: 2})
+	runs := 0
+	st, err := Run(c, "flaky", Options{Seed: 1}, func(attempt int) error {
+		runs++
+		return c.Round(func(m int, local []mpc.Record, emit mpc.Emit) []mpc.Record { return local })
+	})
+	if err != nil {
+		t.Fatalf("recoverable stage failed: %v", err)
+	}
+	if runs != 3 || st.Attempts != 3 {
+		t.Errorf("attempts = %d/%d, want 3 (two faults + success)", runs, st.Attempts)
+	}
+	if st.VirtualBackoffMs <= 0 {
+		t.Error("no virtual backoff charged")
+	}
+	if c.Err() != nil {
+		t.Errorf("cluster left failed: %v", c.Err())
+	}
+}
+
+// Non-retryable (deterministic) errors return immediately with the
+// checkpoint restored.
+func TestDeterministicErrorNotRetried(t *testing.T) {
+	c := loaded(t, 4)
+	boom := errors.New("algorithm does not fit")
+	runs := 0
+	st, err := Run(c, "det", Options{Seed: 1}, func(attempt int) error {
+		runs++
+		// Corrupt state, then fail: the driver must roll it back.
+		if lerr := c.LocalMap(func(m int, local []mpc.Record) []mpc.Record { return nil }); lerr != nil {
+			return lerr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) || errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if runs != 1 || st.Attempts != 1 {
+		t.Errorf("deterministic error retried: %d attempts", runs)
+	}
+	recs, cerr := c.Collect()
+	if cerr != nil || len(recs) != 4 {
+		t.Errorf("checkpoint not restored on failure: %d records, %v", len(recs), cerr)
+	}
+}
+
+// Budget exhaustion wraps ErrExhausted and leaves a restored cluster.
+func TestExhaustionWrapsAndRestores(t *testing.T) {
+	c := loaded(t, 4)
+	c.InjectFaults(&mpc.FaultPlan{Seed: 10, Transient: 1}) // never stops failing
+	st, err := Run(c, "doomed", Options{MaxRetries: 2, Seed: 1}, func(attempt int) error {
+		return c.Round(func(m int, local []mpc.Record, emit mpc.Emit) []mpc.Record { return local })
+	})
+	if !errors.Is(err, ErrExhausted) || !errors.Is(err, mpc.ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if st.Attempts != 3 { // initial + 2 retries
+		t.Errorf("attempts = %d, want 3", st.Attempts)
+	}
+	if c.Err() != nil {
+		t.Errorf("cluster left failed after final restore: %v", c.Err())
+	}
+	if len(mustCollect(t, c)) != 4 {
+		t.Error("state not rolled back on exhaustion")
+	}
+}
+
+func TestNegativeMaxRetriesMeansNone(t *testing.T) {
+	c := loaded(t, 2)
+	c.InjectFaults(&mpc.FaultPlan{Seed: 11, Transient: 1})
+	st, err := Run(c, "strict", Options{MaxRetries: -1}, func(attempt int) error {
+		return c.Round(func(m int, local []mpc.Record, emit mpc.Emit) []mpc.Record { return local })
+	})
+	if !errors.Is(err, ErrExhausted) || st.Attempts != 1 {
+		t.Fatalf("st=%+v err=%v", st, err)
+	}
+}
+
+// A genuine (non-injected) memory-cap violation escalates: the driver
+// raises the cap, grows the cluster, and the stage then fits.
+func TestEscalationOnGenuineMemoryPressure(t *testing.T) {
+	c := loaded(t, 4) // ~4·3 words on 2 machines, cap 4096
+	var retries []string
+	opts := Options{
+		Seed:         2,
+		Escalate:     true,
+		GrowMachines: 2,
+		OnRetry: func(stage string, attempt int, backoffMs int64, err error) {
+			retries = append(retries, fmt.Sprintf("%s#%d", stage, attempt))
+		},
+	}
+	startCap := c.CapWords()
+	st, err := Run(c, "hungry", opts, func(attempt int) error {
+		// Blow up each machine's residency just past the ORIGINAL cap;
+		// fits once the cap doubles.
+		return c.LocalMap(func(m int, local []mpc.Record) []mpc.Record {
+			big := mpc.Record{Key: "big", Data: make([]float64, startCap)}
+			return append(local, big)
+		})
+	})
+	if err != nil {
+		t.Fatalf("escalation did not rescue the stage: %v", err)
+	}
+	if st.Escalations != 1 {
+		t.Errorf("escalations = %d, want 1", st.Escalations)
+	}
+	if c.CapWords() <= startCap {
+		t.Errorf("cap not raised: %d", c.CapWords())
+	}
+	if c.Machines() != 4 {
+		t.Errorf("machines = %d, want 4 after growth", c.Machines())
+	}
+	if len(retries) == 0 {
+		t.Error("OnRetry hook never fired")
+	}
+}
+
+// Without Escalate, a memory violation is a deterministic failure.
+func TestMemoryWithoutEscalateFailsFast(t *testing.T) {
+	c := loaded(t, 4)
+	capW := c.CapWords()
+	st, err := Run(c, "nofit", Options{Seed: 3}, func(attempt int) error {
+		return c.LocalMap(func(m int, local []mpc.Record) []mpc.Record {
+			return append(local, mpc.Record{Key: "big", Data: make([]float64, capW)})
+		})
+	})
+	if !errors.Is(err, mpc.ErrLocalMemory) || errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if st.Attempts != 1 {
+		t.Errorf("memory error without Escalate retried %d times", st.Attempts)
+	}
+}
+
+// Injected pressure is transient: it must NOT climb the escalation ladder
+// (a raised cap would change downstream parameter selection and break
+// bit-identity with the fault-free run).
+func TestInjectedPressureDoesNotEscalate(t *testing.T) {
+	c := mpc.New(mpc.Config{Machines: 1, CapWords: 64})
+	var recs []mpc.Record
+	for i := 0; i < 16; i++ {
+		recs = append(recs, mpc.Record{Key: fmt.Sprintf("k%03d", i), Ints: []int64{1}, Data: []float64{1}})
+	}
+	if err := c.Distribute(recs); err != nil {
+		t.Fatal(err)
+	}
+	c.InjectFaults(&mpc.FaultPlan{Seed: 4, Pressure: 1, PressureFactor: 0.25, MaxFaults: 2})
+	startCap := c.CapWords()
+	st, err := Run(c, "squeezed", Options{Escalate: true, Seed: 5}, func(attempt int) error {
+		return c.Round(func(m int, local []mpc.Record, emit mpc.Emit) []mpc.Record { return local })
+	})
+	if err != nil {
+		t.Fatalf("transient pressure not ridden out: %v", err)
+	}
+	if st.Escalations != 0 {
+		t.Errorf("injected pressure escalated %d times", st.Escalations)
+	}
+	if c.CapWords() != startCap {
+		t.Errorf("cap changed under injected pressure: %d → %d", startCap, c.CapWords())
+	}
+}
+
+func TestEscalationLadderBounded(t *testing.T) {
+	c := loaded(t, 2)
+	st, err := Run(c, "bottomless", Options{Escalate: true, MaxEscalations: 2, MaxRetries: 10, Seed: 6},
+		func(attempt int) error {
+			// Always exceeds whatever the cap currently is.
+			capNow := c.CapWords()
+			return c.LocalMap(func(m int, local []mpc.Record) []mpc.Record {
+				return append(local, mpc.Record{Key: "big", Data: make([]float64, 2*capNow)})
+			})
+		})
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if st.Escalations != 2 {
+		t.Errorf("escalations = %d, want 2", st.Escalations)
+	}
+}
+
+// Identical options produce identical recovery traces (virtual backoff is
+// deterministically jittered per (seed, stage, attempt)).
+func TestBackoffDeterministic(t *testing.T) {
+	run := func() Stats {
+		c := loaded(t, 4)
+		c.InjectFaults(&mpc.FaultPlan{Seed: 20, Transient: 1, MaxFaults: 3})
+		st, err := Run(c, "stage-x", Options{MaxRetries: 5, Seed: 7}, func(attempt int) error {
+			return c.Round(func(m int, local []mpc.Record, emit mpc.Emit) []mpc.Record { return local })
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("recovery trace not deterministic: %+v vs %+v", a, b)
+	}
+	if a.VirtualBackoffMs == 0 {
+		t.Error("no backoff charged over 3 retries")
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	opts := Options{BackoffBaseMs: 100, BackoffMaxMs: 400, Seed: 8}
+	b0 := virtualBackoff(opts, "s", 0)
+	b3 := virtualBackoff(opts, "s", 3)
+	if b0 < 100 || b0 >= 200 {
+		t.Errorf("attempt 0 backoff %d outside [100,200)", b0)
+	}
+	if b3 < 400 || b3 >= 500 {
+		t.Errorf("attempt 3 backoff %d outside [400,500) (cap+jitter)", b3)
+	}
+}
+
+func mustCollect(t testing.TB, c *mpc.Cluster) []mpc.Record {
+	t.Helper()
+	recs, err := c.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	return recs
+}

@@ -37,6 +37,7 @@ import (
 	"mpctree/internal/mpc"
 	"mpctree/internal/mpcapps"
 	"mpctree/internal/mpcembed"
+	"mpctree/internal/resilient"
 	"mpctree/internal/vec"
 )
 
@@ -94,6 +95,11 @@ type MPCOptions struct {
 	Pipeline core.PipelineOptions
 	// Seed drives all randomness (overrides Pipeline.Seed when nonzero).
 	Seed uint64
+	// Faults, if set, installs a fault-injection schedule on the simulated
+	// cluster before the pipeline runs (see mpc.FaultPlan). Pair it with
+	// Pipeline.Resilient to exercise recovery; without it, the first
+	// injected fault fails the run with an mpc.ErrInjected-class error.
+	Faults *mpc.FaultPlan
 }
 
 // MPCInfo reports the distributed run's accounting, including the
@@ -127,6 +133,9 @@ func EmbedMPC(pts []Point, opt MPCOptions) (*Tree, *MPCInfo, error) {
 		capWords = mpc.FullyScalableCap(n, d, eps, 256)
 	}
 	cluster := mpc.New(mpc.Config{Machines: machines, CapWords: capWords})
+	if opt.Faults != nil {
+		cluster.InjectFaults(opt.Faults)
+	}
 	popt := opt.Pipeline
 	if opt.Seed != 0 {
 		popt.Seed = opt.Seed
@@ -196,6 +205,29 @@ type FJLTOptions = fjlt.Options
 // PipelineOptions configures the two-stage Theorem-1 pipeline run by
 // EmbedMPC.
 type PipelineOptions = core.PipelineOptions
+
+// FaultPlan is a seeded, deterministic fault-injection schedule for the
+// simulated cluster: machine crashes, transient round failures, message
+// drops/duplication, and artificial memory pressure. Install one via
+// MPCOptions.Faults.
+type FaultPlan = mpc.FaultPlan
+
+// FaultStats counts what a FaultPlan injected during a run.
+type FaultStats = mpc.FaultStats
+
+// RecoveryStats meters checkpoint/restore overhead and rolled-back work.
+type RecoveryStats = mpc.RecoveryStats
+
+// RetryOptions tunes the resilient execution driver enabled by
+// PipelineOptions.Resilient (retry budget, virtual backoff, resource
+// escalation).
+type RetryOptions = resilient.Options
+
+// UniformFaults builds a FaultPlan injecting every fault class at
+// per-round probability p.
+func UniformFaults(seed uint64, p float64) *FaultPlan {
+	return mpc.UniformFaults(seed, p)
+}
 
 // PipelineTuning is a convenience constructor for MPCOptions.Pipeline:
 // xi is the FJLT distortion parameter ξ ∈ (0, 0.5) and ck the constant in
