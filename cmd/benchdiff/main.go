@@ -1,0 +1,203 @@
+// benchdiff runs the worker-scaling benchmark suite at workers=1 and
+// workers=8 (the sub-benchmarks of bench_workers_test.go, plus the
+// DistFWHT record-routing benchmark), writes the results to a JSON report,
+// and fails if any benchmark regressed by more than -threshold against the
+// committed baseline.
+//
+//	go run ./cmd/benchdiff                  # full run, compare + rewrite BENCH_PR2.json
+//	go run ./cmd/benchdiff -quick           # one iteration per benchmark (CI smoke)
+//	go run ./cmd/benchdiff -out new.json -baseline BENCH_PR2.json
+//
+// The report records GOMAXPROCS and the CPU count: on a single-core
+// machine the workers=8 variants measure the worker pool's overhead, not
+// a speedup, and the speedup ratios must be read with that in mind. The
+// determinism suite guarantees both variants compute identical bits, so
+// the numbers are directly comparable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result.
+type Bench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Report is the schema of BENCH_PR2.json.
+type Report struct {
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	CPUs       int     `json:"cpus"`
+	Quick      bool    `json:"quick"`
+	Benchmarks []Bench `json:"benchmarks"`
+	// Speedups maps each workers-parameterised benchmark to
+	// ns(workers=1) / ns(workers=8); > 1 means the fan-out won.
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func runSuite(pkg, pattern, benchtime string) ([]Bench, error) {
+	cmd := exec.Command("go", "test", "-run=^$", "-bench="+pattern, "-benchmem", "-benchtime="+benchtime, pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench %s: %v\n%s", pkg, err, out)
+	}
+	var bs []Bench
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		b := Bench{Name: m[1]}
+		b.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			b.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+			b.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		bs = append(bs, b)
+	}
+	if len(bs) == 0 {
+		return nil, fmt.Errorf("no benchmark lines parsed from %s output:\n%s", pkg, out)
+	}
+	return bs, nil
+}
+
+func speedups(bs []Bench) map[string]float64 {
+	byName := map[string]float64{}
+	for _, b := range bs {
+		byName[b.Name] = b.NsPerOp
+	}
+	out := map[string]float64{}
+	for name, ns1 := range byName {
+		base, ok := strings.CutSuffix(name, "/workers=1")
+		if !ok {
+			continue
+		}
+		if nsN, ok := byName[base+"/workers=8"]; ok && nsN > 0 {
+			out[base] = ns1 / nsN
+		}
+	}
+	return out
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "one iteration per benchmark (fast, noisy; CI smoke)")
+	out := flag.String("out", "BENCH_PR2.json", "report file to write ('' to skip)")
+	baseline := flag.String("baseline", "BENCH_PR2.json", "baseline to compare against ('' or missing file skips the check)")
+	threshold := flag.Float64("threshold", 0.20, "fail if ns/op regresses by more than this fraction vs baseline")
+	benchtime := flag.String("benchtime", "", "override -benchtime (default 0.5s, or 1x with -quick)")
+	flag.Parse()
+
+	bt := "0.5s"
+	if *quick {
+		bt = "1x"
+	}
+	if *benchtime != "" {
+		bt = *benchtime
+	}
+
+	// Baseline is read before the run so -out and -baseline may be the
+	// same file (the normal workflow: compare against the committed
+	// report, then refresh it).
+	var base *Report
+	if *baseline != "" {
+		if data, err := os.ReadFile(*baseline); err == nil {
+			base = &Report{}
+			if err := json.Unmarshal(data, base); err != nil {
+				fmt.Fprintf(os.Stderr, "benchdiff: unreadable baseline %s: %v\n", *baseline, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
+		Quick:      *quick,
+	}
+	for _, suite := range []struct{ pkg, pattern string }{
+		{"mpctree", "Workers"},
+		{"mpctree/internal/hadamard", "BenchmarkDistFWHT|BenchmarkFWHT1024"},
+	} {
+		fmt.Fprintf(os.Stderr, "benchdiff: running %s -bench=%s -benchtime=%s\n", suite.pkg, suite.pattern, bt)
+		bs, err := runSuite(suite.pkg, suite.pattern, bt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, bs...)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool { return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name })
+	rep.Speedups = speedups(rep.Benchmarks)
+
+	for _, b := range rep.Benchmarks {
+		fmt.Printf("%-55s %14.0f ns/op %12.0f B/op %10.0f allocs/op\n", b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+	for _, base := range sortedKeys(rep.Speedups) {
+		fmt.Printf("speedup %-47s %14.2fx (workers=1 vs workers=8, GOMAXPROCS=%d)\n", base, rep.Speedups[base], rep.GOMAXPROCS)
+	}
+
+	var regressions []string
+	if base != nil {
+		old := map[string]Bench{}
+		for _, b := range base.Benchmarks {
+			old[b.Name] = b
+		}
+		for _, b := range rep.Benchmarks {
+			o, ok := old[b.Name]
+			if !ok || o.NsPerOp <= 0 {
+				continue
+			}
+			if ratio := b.NsPerOp / o.NsPerOp; ratio > 1+*threshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.0f%% slower, threshold %.0f%%)",
+						b.Name, b.NsPerOp, o.NsPerOp, (ratio-1)*100, *threshold*100))
+			}
+		}
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	}
+
+	if len(regressions) > 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: REGRESSIONS:")
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  ", r)
+		}
+		os.Exit(1)
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -25,6 +25,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		machines = flag.Int("machines", 8, "simulated machines")
 		sparse   = flag.Bool("sparse", false, "use adversarially sparse inputs")
+		workers  = flag.Int("workers", 0, "data-parallel workers for pure compute (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -45,13 +46,14 @@ func main() {
 
 	// Sequential.
 	tr := fjlt.FromParams(params)
+	tr.Workers = *workers
 	seqOut := tr.ApplyAll(pts)
 	fmt.Printf("sequential max pairwise distortion: %.4f (target ξ=%.2f)\n",
 		fjlt.MaxPairwiseDistortion(pts, seqOut), *xi)
 
 	// MPC.
 	c := mpc.New(mpc.Config{Machines: *machines, CapWords: 1 << 22})
-	mpcOut, err := fjlt.ApplyMPC(c, pts, params, 0)
+	mpcOut, err := fjlt.ApplyMPC(c, pts, params, 0, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fjltdemo:", err)
 		os.Exit(1)

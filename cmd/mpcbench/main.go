@@ -31,6 +31,7 @@ func main() {
 	faults := flag.Float64("faults", 0, "per-round fault-injection probability for E16-Chaos (0 = its built-in rate ladder)")
 	faultSeed := flag.Uint64("fault-seed", 0, "fault-schedule seed (0 = derive from -seed)")
 	maxRetries := flag.Int("max-retries", 0, "per-stage retry budget for E16-Chaos (0 = default)")
+	workers := flag.Int("workers", 0, "data-parallel workers for pure compute; results are identical for any value (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -44,7 +45,7 @@ func main() {
 	if *exp != "" {
 		ids = []string{*exp}
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Faults: *faults, FaultSeed: *faultSeed, MaxRetries: *maxRetries}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers, Faults: *faults, FaultSeed: *faultSeed, MaxRetries: *maxRetries}
 	failed := 0
 	for _, id := range ids {
 		start := time.Now()

@@ -40,12 +40,13 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		useMPC   = flag.Bool("mpc", false, "run the full MPC pipeline (FJLT + Algorithm 2)")
 		machines = flag.Int("machines", 8, "simulated machines (with -mpc)")
+		workers  = flag.Int("workers", 0, "data-parallel workers for pure compute; results are identical for any value (0 = GOMAXPROCS)")
 
 		faults     = flag.Float64("faults", 0, "per-round fault-injection probability per class (with -mpc); enables resilient execution")
 		faultSeed  = flag.Uint64("fault-seed", 0, "fault-schedule seed (0 = derive from -seed)")
 		maxRetries = flag.Int("max-retries", 0, "per-stage retry budget under -faults (0 = auto 40, -1 = none)")
-		saveTo   = flag.String("save", "", "write the embedding tree (binary) to this file")
-		dotTo    = flag.String("dot", "", "write the tree as Graphviz DOT to this file")
+		saveTo     = flag.String("save", "", "write the embedding tree (binary) to this file")
+		dotTo      = flag.String("dot", "", "write the tree as Graphviz DOT to this file")
 	)
 	flag.Parse()
 
@@ -57,7 +58,7 @@ func main() {
 	fmt.Printf("points: %d, dimension: %d\n", len(pts), len(pts[0]))
 
 	if *useMPC {
-		mopt := mpctree.MPCOptions{Machines: *machines, CapWords: 1 << 22, Seed: *seed}
+		mopt := mpctree.MPCOptions{Machines: *machines, CapWords: 1 << 22, Seed: *seed, Workers: *workers}
 		if *faults > 0 {
 			fs := *faultSeed
 			if fs == 0 {
@@ -113,7 +114,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	tree, info, err := mpctree.Embed(pts, mpctree.Options{Method: m, R: *r, Seed: *seed})
+	tree, info, err := mpctree.Embed(pts, mpctree.Options{Method: m, R: *r, Seed: *seed, Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "treembed:", err)
 		os.Exit(1)
@@ -135,8 +136,8 @@ func main() {
 	}
 
 	if len(pts) <= 2048 && *trees > 0 {
-		dist, err := stats.MeasureDistortion(pts, *trees, func(s uint64) (*mpctree.Tree, error) {
-			t, _, err := core.Embed(pts, core.Options{Method: m, R: *r, Seed: *seed ^ s<<17})
+		dist, err := stats.MeasureDistortionPar(pts, *trees, *workers, func(s uint64) (*mpctree.Tree, error) {
+			t, _, err := core.Embed(pts, core.Options{Method: m, R: *r, Seed: *seed ^ s<<17, Workers: *workers})
 			return t, err
 		})
 		if err != nil {

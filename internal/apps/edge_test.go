@@ -1,0 +1,134 @@
+package apps
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mpctree/internal/vec"
+)
+
+// Edge cases for the Corollary-1 applications: degenerate measures and
+// degenerate point sets must either compute the obvious answer or refuse
+// loudly — never return garbage.
+
+func TestExactEMDEmptyPointSet(t *testing.T) {
+	got, err := ExactEMD(nil, nil, nil)
+	if err != nil {
+		t.Fatalf("EMD of empty measures: %v", err)
+	}
+	if got != 0 {
+		t.Fatalf("EMD of empty measures = %v, want 0", got)
+	}
+}
+
+func TestExactEMDSingleton(t *testing.T) {
+	pts := []vec.Point{{3, 4}}
+	got, err := ExactEMD(pts, []float64{1}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("EMD of a point to itself = %v, want 0", got)
+	}
+	// Zero total mass is transport-free by convention.
+	got, err = ExactEMD(pts, []float64{0}, []float64{0})
+	if err != nil || got != 0 {
+		t.Fatalf("EMD of zero measures = %v, %v; want 0, nil", got, err)
+	}
+}
+
+func TestExactEMDRejectsBadMeasures(t *testing.T) {
+	pts := latticePts(t, 101, 4, 2, 16)
+	if _, err := ExactEMD(pts, []float64{1, 0, 0, 0}, []float64{1, 0, 0}); err == nil {
+		t.Fatal("no error for measure length mismatch")
+	}
+	if _, err := ExactEMD(pts, []float64{1, -0.5, 0.5, 0}, []float64{1, 0, 0, 0}); err == nil {
+		t.Fatal("no error for negative mass")
+	}
+	_, err := ExactEMD(pts, []float64{1, 0, 0, 0}, []float64{2, 0, 0, 0})
+	if err == nil || !strings.Contains(err.Error(), "unequal masses") {
+		t.Fatalf("want unequal-masses error, got %v", err)
+	}
+}
+
+func TestTreeEMDSingletonAndPanics(t *testing.T) {
+	pts := latticePts(t, 103, 2, 3, 64)
+	tr := embed(t, pts, 105)
+
+	// Identical measures transport nothing.
+	if got := TreeEMD(tr, []float64{0.5, 0.5}, []float64{0.5, 0.5}); got != 0 {
+		t.Fatalf("TreeEMD(mu, mu) = %v, want 0", got)
+	}
+	// Moving all mass between the two leaves costs mass × tree distance.
+	got := TreeEMD(tr, []float64{1, 0}, []float64{0, 1})
+	if want := tr.Dist(0, 1); math.Abs(got-want) > 1e-12*(1+want) {
+		t.Fatalf("TreeEMD unit transport = %v, want tree distance %v", got, want)
+	}
+
+	for name, fn := range map[string]func(){
+		"length mismatch": func() { TreeEMD(tr, []float64{1}, []float64{0, 1}) },
+		"unequal masses":  func() { TreeEMD(tr, []float64{1, 0}, []float64{0, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for %s", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestExactDensestBallAllCoincident(t *testing.T) {
+	pts := make([]vec.Point, 9)
+	for i := range pts {
+		pts[i] = vec.Point{7, 7, 7}
+	}
+	res := ExactDensestBall(pts, 1)
+	if res.Count != len(pts) {
+		t.Fatalf("coincident points: captured %d of %d", res.Count, len(pts))
+	}
+	// Radius 0 still captures every copy (distance 0 ≤ 0).
+	res = ExactDensestBall(pts, 0)
+	if res.Count != len(pts) {
+		t.Fatalf("coincident points at D=0: captured %d of %d", res.Count, len(pts))
+	}
+}
+
+func TestExactDensestBallRadiusZeroDistinct(t *testing.T) {
+	pts := latticePts(t, 107, 8, 2, 16)
+	res := ExactDensestBall(pts, 0)
+	if res.Count != 1 {
+		t.Fatalf("D=0 on distinct points: captured %d, want 1", res.Count)
+	}
+	if res.Node < 0 || res.Node >= len(pts) {
+		t.Fatalf("D=0: invalid center index %d", res.Node)
+	}
+	if res := ExactDensestBall(nil, 1); res.Count != 0 || res.Node != -1 {
+		t.Fatalf("empty point set: %+v, want Count 0, Node -1", res)
+	}
+}
+
+func TestDensestBallTreeBelowLeafScale(t *testing.T) {
+	pts := latticePts(t, 109, 12, 3, 64)
+	tr := embed(t, pts, 111)
+	// beta·D below any subtree bound: falls back to a single leaf.
+	res := DensestBallTree(tr, 1e-9, 1e-9)
+	if res.Count != 1 {
+		t.Fatalf("below leaf scale: Count %d, want 1", res.Count)
+	}
+	if res.DiameterBound != 0 {
+		t.Fatalf("below leaf scale: DiameterBound %v, want 0", res.DiameterBound)
+	}
+	members := ClusterMembers(tr, res.Node)
+	if len(members) != 1 {
+		t.Fatalf("fallback leaf holds %d points", len(members))
+	}
+	// Generous budget: the root qualifies, capturing everything.
+	res = DensestBallTree(tr, vec.MaxPairwiseDist(pts), math.Inf(1))
+	if res.Count != len(pts) {
+		t.Fatalf("infinite beta: captured %d of %d", res.Count, len(pts))
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"mpctree/internal/fjlt"
+	"mpctree/internal/mpc"
+	"mpctree/internal/workload"
+)
+
+// End-to-end worker invariance: the sequential embedding and the full
+// Theorem-1 MPC pipeline must produce byte-identical trees at workers=1
+// and workers=8. This is the top-level statement of the reproducibility
+// contract — everything below (fjlt, hadamard, partition, mpcembed, vec)
+// feeds into these two entry points.
+
+func embedBytes(t *testing.T, m Method, r, workers int) []byte {
+	t.Helper()
+	pts := workload.UniformLattice(81, 48, 8, 512)
+	tree, _, err := Embed(pts, Options{Method: m, R: r, Seed: 83, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestEmbedWorkerInvariant(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Method
+		r    int
+	}{
+		{"grid", MethodGrid, 0},
+		{"hybrid", MethodHybrid, 4},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			want := embedBytes(t, cse.m, cse.r, 1)
+			for _, workers := range []int{2, 8} {
+				if got := embedBytes(t, cse.m, cse.r, workers); !bytes.Equal(got, want) {
+					t.Fatalf("workers=%d: tree bytes differ from serial run", workers)
+				}
+			}
+		})
+	}
+}
+
+func TestEmbedPipelineWorkerInvariant(t *testing.T) {
+	pts := workload.UniformLattice(85, 40, 96, 512)
+	run := func(workers int) []byte {
+		c := mpc.New(mpc.Config{Machines: 4, CapWords: 1 << 22})
+		tree, _, err := EmbedPipeline(c, pts, PipelineOptions{
+			Xi:      0.3,
+			FJLT:    fjlt.Options{CK: 1},
+			Seed:    87,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := tree.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: pipeline tree bytes differ from serial run", workers)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// Whole-experiment worker invariance: the rendered Result (tables, checks,
+// notes — every digit) must be identical at workers=1 and workers=8.
+// Experiments draw all randomness serially; Workers only fans out pure
+// compute, so the report text is a complete fingerprint of the run.
+func TestExperimentsWorkerInvariant(t *testing.T) {
+	// One experiment per parallelized subsystem: E02 (sequential embeds +
+	// distortion stats), E11 (hybrid sweep over r), E15 (Algorithm 2
+	// resident paths), E16 (full pipeline under faults).
+	ids := []string{"E02-Thm2", "E11-Ablate", "E15-Cor1MPC", "E16-Chaos"}
+	if testing.Short() {
+		ids = []string{"E02-Thm2", "E15-Cor1MPC"}
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) string {
+				res, err := Run(id, Config{Quick: true, Seed: 424242, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.String()
+			}
+			want := run(1)
+			if got := run(8); got != want {
+				t.Fatalf("%s: report differs between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", id, want, got)
+			}
+		})
+	}
+}

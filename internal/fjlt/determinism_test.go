@@ -1,0 +1,100 @@
+package fjlt
+
+import (
+	"math"
+	"testing"
+
+	"mpctree/internal/mpc"
+	"mpctree/internal/vec"
+)
+
+// Bit-identity of every parallel entry point against its serial run, for
+// worker counts that do and don't divide the point count. Run under -race
+// in CI, this also proves the fan-outs are data-race free.
+
+func assertPointsBitIdentical(t *testing.T, want, got []vec.Point, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d points", label, len(want), len(got))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if math.Float64bits(want[i][j]) != math.Float64bits(got[i][j]) {
+				t.Fatalf("%s: point %d coord %d differs: %v vs %v", label, i, j, want[i][j], got[i][j])
+			}
+		}
+	}
+}
+
+func TestApplyAllWorkerInvariant(t *testing.T) {
+	pts := randPts(21, 33, 40)
+	ref, err := New(len(pts), 40, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Workers = 1
+	want := ref.ApplyAll(pts)
+	for _, workers := range []int{2, 8} {
+		tr, err := New(len(pts), 40, Options{Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertPointsBitIdentical(t, want, tr.ApplyAll(pts), "Transform.ApplyAll")
+	}
+}
+
+func TestDenseJLApplyAllWorkerInvariant(t *testing.T) {
+	pts := randPts(23, 25, 48)
+	ref, err := NewDenseJL(len(pts), 48, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Workers = 1
+	want := ref.ApplyAll(pts)
+	for _, workers := range []int{3, 8} {
+		tr, err := NewDenseJL(len(pts), 48, Options{Seed: 9, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertPointsBitIdentical(t, want, tr.ApplyAll(pts), "DenseJL.ApplyAll")
+	}
+}
+
+func TestApplyMPCWorkerInvariant(t *testing.T) {
+	pts := randPts(29, 19, 24)
+	p, err := NewParams(len(pts), 24, Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []vec.Point {
+		c := mpc.New(mpc.Config{Machines: 4, CapWords: 1 << 22})
+		out, err := ApplyMPC(c, pts, p, 0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		assertPointsBitIdentical(t, want, run(workers), "ApplyMPC")
+	}
+}
+
+func TestMaxPairwiseDistortionWorkerInvariant(t *testing.T) {
+	orig := randPts(31, 21, 16)
+	tr, err := New(len(orig), 16, Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := tr.ApplyAll(orig)
+	want := MaxPairwiseDistortionPar(orig, mapped, 1)
+	for _, workers := range []int{2, 8} {
+		got := MaxPairwiseDistortionPar(orig, mapped, workers)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("MaxPairwiseDistortionPar(workers=%d) = %v, serial %v", workers, got, want)
+		}
+	}
+	if got := MaxPairwiseDistortion(orig, mapped); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("MaxPairwiseDistortion = %v, Par(1) = %v", got, want)
+	}
+}

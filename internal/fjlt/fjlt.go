@@ -26,6 +26,7 @@ import (
 	"math"
 
 	"mpctree/internal/hadamard"
+	"mpctree/internal/par"
 	"mpctree/internal/rng"
 	"mpctree/internal/vec"
 )
@@ -47,6 +48,11 @@ type Options struct {
 	CQ     float64 // constant in q = CQ·ln²n/d; default 1
 	ForceK int     // override k entirely (> 0)
 	Seed   uint64
+	// Workers bounds the data-parallel fan-out of batch application
+	// (ApplyAll): ≤ 0 means runtime.GOMAXPROCS(0), 1 is serial. Output is
+	// bit-identical for any value — each point's transform is an
+	// independent pure function of (seed, point).
+	Workers int
 }
 
 // NewParams chooses FJLT parameters for n points in dimension d.
@@ -150,7 +156,10 @@ func NNZ(p Params, blockC int) int {
 
 // Transform is a materialised sequential FJLT.
 type Transform struct {
-	P       Params
+	P Params
+	// Workers bounds ApplyAll's fan-out (par.Workers semantics; the zero
+	// value runs at GOMAXPROCS). Apply is always serial per point.
+	Workers int
 	blockC  int
 	entries []PEntry
 }
@@ -161,7 +170,9 @@ func New(n, d int, opt Options) (*Transform, error) {
 	if err != nil {
 		return nil, err
 	}
-	return FromParams(p), nil
+	t := FromParams(p)
+	t.Workers = opt.Workers
+	return t, nil
 }
 
 // DefaultBlockC returns the column block width used to shard P's
@@ -207,30 +218,42 @@ func (t *Transform) Apply(x vec.Point) vec.Point {
 	return z
 }
 
-// ApplyAll maps a point set.
+// ApplyAll maps a point set, fanning the independent per-point transforms
+// over t.Workers. Each output slot is a pure function of (seed, point), so
+// the result is bit-identical to the serial loop for any worker count.
 func (t *Transform) ApplyAll(pts []vec.Point) []vec.Point {
 	out := make([]vec.Point, len(pts))
-	for i, p := range pts {
-		out[i] = t.Apply(p)
-	}
+	par.For(t.Workers, len(pts), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = t.Apply(pts[i])
+		}
+	})
 	return out
 }
 
 // MaxPairwiseDistortion returns max over pairs of
 // |‖φp−φq‖/‖p−q‖ − 1| — the empirical (1±ξ) check (O(n²)).
 func MaxPairwiseDistortion(orig, mapped []vec.Point) float64 {
-	var worst float64
-	for i := range orig {
+	return MaxPairwiseDistortionPar(orig, mapped, 1)
+}
+
+// MaxPairwiseDistortionPar is MaxPairwiseDistortion with the row loop
+// sharded over workers. Exact max-folding is associative, so the result is
+// bit-identical to the serial scan for any worker count.
+func MaxPairwiseDistortionPar(orig, mapped []vec.Point, workers int) float64 {
+	_, worst := par.MinMax(workers, len(orig), math.Inf(1), 0, func(i int) (float64, bool) {
+		var rowWorst float64
 		for j := i + 1; j < len(orig); j++ {
 			de := vec.Dist(orig[i], orig[j])
 			if de == 0 {
 				continue
 			}
 			dm := vec.Dist(mapped[i], mapped[j])
-			if dev := math.Abs(dm/de - 1); dev > worst {
-				worst = dev
+			if dev := math.Abs(dm/de - 1); dev > rowWorst {
+				rowWorst = dev
 			}
 		}
-	}
+		return rowWorst, true
+	})
 	return worst
 }

@@ -24,6 +24,7 @@ import (
 
 	"mpctree/internal/hadamard"
 	"mpctree/internal/mpc"
+	"mpctree/internal/par"
 	"mpctree/internal/vec"
 )
 
@@ -42,8 +43,11 @@ func OutKey(i int) string { return fmt.Sprintf("fj|%d", i) }
 // ApplyMPC runs the FJLT over an existing cluster: pts are loaded in
 // row-block layout, transformed, and the embedded points returned. The
 // cluster's metrics then hold the round/space accounting for Theorem 3's
-// claims. blockC 0 selects DefaultBlockC.
-func ApplyMPC(c *mpc.Cluster, pts []vec.Point, p Params, blockC int) ([]vec.Point, error) {
+// claims. blockC 0 selects DefaultBlockC. workers bounds the data-parallel
+// fan-out of the pure per-vector/per-point compute inside rounds
+// (par.Workers semantics); the communication pattern and every emitted
+// byte are identical for any worker count.
+func ApplyMPC(c *mpc.Cluster, pts []vec.Point, p Params, blockC, workers int) ([]vec.Point, error) {
 	n := len(pts)
 	if n == 0 {
 		return nil, fmt.Errorf("fjlt: empty point set")
@@ -87,7 +91,7 @@ func ApplyMPC(c *mpc.Cluster, pts []vec.Point, p Params, blockC int) ([]vec.Poin
 	}
 
 	// Step 2: H·(DA) — 2 rounds.
-	if err := hadamard.DistFWHT(c, p.DPad, blockC); err != nil {
+	if err := hadamard.DistFWHT(c, p.DPad, blockC, workers); err != nil {
 		return nil, err
 	}
 
@@ -113,8 +117,16 @@ func ApplyMPC(c *mpc.Cluster, pts []vec.Point, p Params, blockC int) ([]vec.Poin
 	// k-vector per (machine, point), sum at the point's owner — 1 round.
 	err = c.Round(func(m int, local []mpc.Record, emit mpc.Emit) []mpc.Record {
 		keep := local[:0:0]
-		// Partial per point.
-		partial := make(map[int][]float64)
+		// Group this machine's row-block records by point, preserving
+		// store order within each group, and pre-generate the P entries
+		// of every resident block — both serial, so the parallel phase
+		// below only reads shared state and writes its own partial slot.
+		type group struct {
+			pt   int
+			recs []mpc.Record
+		}
+		idx := make(map[int]int)
+		var groups []group
 		entriesByBlock := make(map[int][]PEntry)
 		for _, r := range local {
 			if r.Tag != hadamard.TagRowBlock {
@@ -122,27 +134,41 @@ func ApplyMPC(c *mpc.Cluster, pts []vec.Point, p Params, blockC int) ([]vec.Poin
 				continue
 			}
 			pt, b := int(r.Ints[0]), int(r.Ints[1])
-			ents, ok := entriesByBlock[b]
+			if _, ok := entriesByBlock[b]; !ok {
+				entriesByBlock[b] = PEntriesForColBlock(p, b*blockC, blockC)
+			}
+			gi, ok := idx[pt]
 			if !ok {
-				ents = PEntriesForColBlock(p, b*blockC, blockC)
-				entriesByBlock[b] = ents
+				gi = len(groups)
+				idx[pt] = gi
+				groups = append(groups, group{pt: pt})
 			}
-			acc := partial[pt]
-			if acc == nil {
-				acc = make([]float64, p.K)
-				partial[pt] = acc
-			}
-			for _, e := range ents {
-				acc[e.Row] += e.Val * r.Data[e.Col-b*blockC]
-			}
+			groups[gi].recs = append(groups[gi].recs, r)
 		}
-		pids := make([]int, 0, len(partial))
-		for pt := range partial {
-			pids = append(pids, pt)
+		// Each point's partial only ever sees that point's records, in
+		// store order — the same float addition sequence as a serial
+		// sweep, so partials are bit-identical for any worker count.
+		partials := make([][]float64, len(groups))
+		par.For(workers, len(groups), func(lo, hi int) {
+			for g := lo; g < hi; g++ {
+				acc := make([]float64, p.K)
+				for _, r := range groups[g].recs {
+					b := int(r.Ints[1])
+					for _, e := range entriesByBlock[b] {
+						acc[e.Row] += e.Val * r.Data[e.Col-b*blockC]
+					}
+				}
+				partials[g] = acc
+			}
+		})
+		order := make([]int, len(groups))
+		for i := range order {
+			order[i] = i
 		}
-		sort.Ints(pids)
-		for _, pt := range pids {
-			emit(pt%M, mpc.Record{Key: OutKey(pt), Tag: tagPartial, Ints: []int64{int64(pt)}, Data: partial[pt]})
+		sort.Slice(order, func(a, b int) bool { return groups[order[a]].pt < groups[order[b]].pt })
+		for _, g := range order {
+			pt := groups[g].pt
+			emit(pt%M, mpc.Record{Key: OutKey(pt), Tag: tagPartial, Ints: []int64{int64(pt)}, Data: partials[g]})
 		}
 		return keep
 	})

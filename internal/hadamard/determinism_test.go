@@ -1,0 +1,101 @@
+package hadamard
+
+import (
+	"math"
+	"testing"
+
+	"mpctree/internal/mpc"
+	"mpctree/internal/rng"
+)
+
+// The reproducibility contract of the parallel batch kernels: output is
+// bit-identical for any worker count, asserted under -race by the CI.
+
+func randBatch(seed uint64, n, d int) [][]float64 {
+	r := rng.New(seed)
+	xs := make([][]float64, n)
+	for v := range xs {
+		xs[v] = make([]float64, d)
+		for i := range xs[v] {
+			xs[v][i] = r.Normal()
+		}
+	}
+	return xs
+}
+
+func cloneBatch(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = append([]float64(nil), x...)
+	}
+	return out
+}
+
+func assertBatchBitIdentical(t *testing.T, want, got [][]float64, label string) {
+	t.Helper()
+	for v := range want {
+		for i := range want[v] {
+			if math.Float64bits(want[v][i]) != math.Float64bits(got[v][i]) {
+				t.Fatalf("%s: vector %d entry %d differs: %v vs %v", label, v, i, want[v][i], got[v][i])
+			}
+		}
+	}
+}
+
+func TestFWHTBatchWorkerInvariant(t *testing.T) {
+	base := randBatch(11, 37, 128) // odd count exercises ragged shards
+	ref := cloneBatch(base)
+	FWHTBatch(ref, 1)
+	for _, workers := range []int{2, 3, 8} {
+		got := cloneBatch(base)
+		FWHTBatch(got, workers)
+		assertBatchBitIdentical(t, ref, got, "FWHTBatch")
+	}
+}
+
+func TestNormalizedBatchWorkerInvariant(t *testing.T) {
+	base := randBatch(13, 20, 64)
+	ref := cloneBatch(base)
+	NormalizedBatch(ref, 1)
+	for _, workers := range []int{2, 8} {
+		got := cloneBatch(base)
+		NormalizedBatch(got, workers)
+		assertBatchBitIdentical(t, ref, got, "NormalizedBatch")
+	}
+}
+
+func TestFWHTBatchRejectsBadLengthBeforeFanout(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two vector in batch")
+		}
+	}()
+	FWHTBatch([][]float64{make([]float64, 4), make([]float64, 3)}, 8)
+}
+
+// DistFWHT must emit byte-identical records (and therefore produce
+// byte-identical collected vectors) at any worker count.
+func TestDistFWHTWorkerInvariant(t *testing.T) {
+	const n, d, blockC, machines = 7, 64, 8, 4
+	base := randBatch(17, n, d)
+
+	run := func(workers int) [][]float64 {
+		c := mpc.New(mpc.Config{Machines: machines, CapWords: 1 << 18})
+		if err := DistributeVectors(c, cloneBatch(base), d, blockC); err != nil {
+			t.Fatal(err)
+		}
+		if err := DistFWHT(c, d, blockC, workers); err != nil {
+			t.Fatal(err)
+		}
+		got, err := CollectVectors(c, n, d, blockC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		assertBatchBitIdentical(t, ref, run(workers), "DistFWHT")
+	}
+}

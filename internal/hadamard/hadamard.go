@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"mpctree/internal/mpc"
+	"mpctree/internal/par"
 )
 
 // IsPow2 reports whether v is a positive power of two.
@@ -60,6 +61,40 @@ func Normalized(x []float64) {
 	for i := range x {
 		x[i] *= scale
 	}
+}
+
+// FWHTBatch applies the unnormalised transform to every vector of xs in
+// place, fanning the independent per-vector transforms over workers
+// (par.Workers semantics; ≤ 1 runs serially). Each vector's transform is
+// untouched by the fan-out, so the result is bit-identical to calling
+// FWHT serially, for any worker count. All lengths are validated up front
+// so a bad vector panics on the caller's goroutine, not inside the pool.
+func FWHTBatch(xs [][]float64, workers int) {
+	for i, x := range xs {
+		if !IsPow2(len(x)) {
+			panic(fmt.Sprintf("hadamard: vector %d length %d is not a power of two", i, len(x)))
+		}
+	}
+	par.For(workers, len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			FWHT(xs[i])
+		}
+	})
+}
+
+// NormalizedBatch applies the orthonormal transform to every vector of xs
+// in place, over workers. Same determinism contract as FWHTBatch.
+func NormalizedBatch(xs [][]float64, workers int) {
+	for i, x := range xs {
+		if !IsPow2(len(x)) {
+			panic(fmt.Sprintf("hadamard: vector %d length %d is not a power of two", i, len(x)))
+		}
+	}
+	par.For(workers, len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			Normalized(xs[i])
+		}
+	})
 }
 
 // Dense returns the normalised d×d Walsh–Hadamard matrix, for tests and
@@ -158,8 +193,13 @@ func CollectVectors(c *mpc.Cluster, n, d, blockC int) ([][]float64, error) {
 // transpose back. Requires R = d/C ≤ CapWords (a column must fit on a
 // machine); with C chosen near √d this holds whenever d ≤ Cap².
 //
+// The per-machine local transforms are batched over workers (par.Workers
+// semantics); emission stays serial in a fixed record order, so the
+// resident state after every round — and therefore the transform's output
+// — is bit-identical for any worker count.
+//
 // Rounds: 2 (the two transposes); all transforms ride along as local work.
-func DistFWHT(c *mpc.Cluster, d, blockC int) error {
+func DistFWHT(c *mpc.Cluster, d, blockC, workers int) error {
 	if !IsPow2(d) || !IsPow2(blockC) || blockC > d {
 		return fmt.Errorf("hadamard: bad layout d=%d blockC=%d", d, blockC)
 	}
@@ -170,23 +210,34 @@ func DistFWHT(c *mpc.Cluster, d, blockC int) error {
 	M := c.Machines()
 	scale := 1 / math.Sqrt(float64(d))
 
-	colKey := func(v, t int) string { return fmt.Sprintf("hc|%d|%d", v, t) }
-
 	// Stage 1 + transpose: transform each row block locally, then scatter
-	// elements to column owners.
+	// elements to column owners. In-flight element records are routed by a
+	// numeric hash of their coordinates and carry no string key: the
+	// string-key scheme this replaces allocated two strings per element
+	// (the routing key and the record key) on the hottest loop of the
+	// transform.
 	err := c.Round(func(m int, local []mpc.Record, emit mpc.Emit) []mpc.Record {
 		keep := local[:0:0]
+		var blocks []mpc.Record
 		for _, r := range local {
 			if r.Tag != TagRowBlock {
 				keep = append(keep, r)
 				continue
 			}
+			blocks = append(blocks, r)
+		}
+		// Transform copies of every local block in one parallel batch…
+		batch := make([][]float64, len(blocks))
+		for i, r := range blocks {
+			batch[i] = append([]float64(nil), r.Data...)
+		}
+		FWHTBatch(batch, workers)
+		// …then emit serially in store order: delivery order is part of
+		// the cluster's determinism contract.
+		for i, r := range blocks {
 			v, b := int(r.Ints[0]), int(r.Ints[1])
-			block := append([]float64(nil), r.Data...)
-			FWHT(block)
-			for t, val := range block {
-				emit(hashCol(colKey(v, t), M), mpc.Record{
-					Key:  colKey(v, t),
+			for t, val := range batch[i] {
+				emit(routeElem(saltCol, uint64(v), uint64(t), M), mpc.Record{
 					Tag:  TagElem,
 					Ints: []int64{int64(v), int64(t), int64(b)},
 					Data: []float64{val},
@@ -217,11 +268,26 @@ func DistFWHT(c *mpc.Cluster, d, blockC int) error {
 			}
 			col[r.Ints[2]] = r.Data[0]
 		}
-		for id, col := range cols {
-			FWHT(col)
-			for j, val := range col {
-				emit(hashCol(RowBlockKey(id.v, j), M), mpc.Record{
-					Key:  RowBlockKey(id.v, j),
+		// Fixed emission order (sorted column ids) so the next round's
+		// store layout does not depend on map iteration order.
+		ids := make([]colID, 0, len(cols))
+		for id := range cols {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			if ids[i].v != ids[j].v {
+				return ids[i].v < ids[j].v
+			}
+			return ids[i].t < ids[j].t
+		})
+		batch := make([][]float64, len(ids))
+		for i, id := range ids {
+			batch[i] = cols[id]
+		}
+		FWHTBatch(batch, workers)
+		for i, id := range ids {
+			for j, val := range batch[i] {
+				emit(routeElem(saltRow, uint64(id.v), uint64(j), M), mpc.Record{
 					Tag:  TagElem,
 					Ints: []int64{int64(id.v), int64(j), int64(id.t)},
 					Data: []float64{val * scale},
@@ -270,11 +336,25 @@ func DistFWHT(c *mpc.Cluster, d, blockC int) error {
 	})
 }
 
-func hashCol(key string, machines int) int {
-	var h uint64 = 1469598103934665603
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= 1099511628211
+// Routing salts: distinct hash domains for the column-scatter and the
+// row-scatter so the two transposes spread independently.
+const (
+	saltCol uint64 = 0xC01
+	saltRow uint64 = 0xB10C
+)
+
+// routeElem hashes (salt, v, t) to a machine with the same byte-serial
+// FNV-1a mix rng.NewHashed uses (a weaker XOR-multiply mix leaves lattice
+// structure across a coordinate sweep), without materialising a string
+// key — this is DistFWHT's innermost loop.
+func routeElem(salt, v, t uint64, machines int) int {
+	h := uint64(14695981039346656037)
+	const prime = 1099511628211
+	for _, x := range [3]uint64{salt, v, t} {
+		for s := 0; s < 64; s += 8 {
+			h ^= (x >> s) & 0xff
+			h *= prime
+		}
 	}
 	return int(h % uint64(machines))
 }

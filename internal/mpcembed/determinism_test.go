@@ -1,0 +1,86 @@
+package mpcembed
+
+import (
+	"bytes"
+	"testing"
+
+	"mpctree/internal/mpc"
+	"mpctree/internal/rng"
+	"mpctree/internal/vec"
+)
+
+// Algorithm 2's parallel root-path computation must yield a byte-identical
+// tree at any worker count: the per-point work fans out, but edge dedup and
+// record emission replay serially in store order.
+func TestEmbedWorkerInvariant(t *testing.T) {
+	r := rng.New(71)
+	n, d := 40, 8
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		pts[i] = make(vec.Point, d)
+		for j := range pts[i] {
+			pts[i][j] = float64(1 + r.Intn(512))
+		}
+	}
+
+	treeBytes := func(workers int, emitPaths bool) []byte {
+		c := mpc.New(mpc.Config{Machines: 4, CapWords: 1 << 22})
+		tree, _, err := Embed(c, pts, Options{R: 2, Seed: 77, Workers: workers, EmitPaths: emitPaths})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := tree.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	want := treeBytes(1, false)
+	for _, workers := range []int{2, 3, 8} {
+		if got := treeBytes(workers, false); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: tree bytes differ from serial run (%d vs %d bytes)", workers, len(got), len(want))
+		}
+	}
+	// The path-emitting variant routes extra records but must build the
+	// same tree, still worker-invariantly.
+	wantPaths := treeBytes(1, true)
+	if !bytes.Equal(wantPaths, want) {
+		t.Fatal("EmitPaths changed the tree")
+	}
+	if got := treeBytes(8, true); !bytes.Equal(got, wantPaths) {
+		t.Fatal("workers=8 with EmitPaths: tree bytes differ from serial run")
+	}
+}
+
+// The seed-derived-grid variant shares the parallel step; it must stay
+// byte-identical to the broadcast variant at every worker count.
+func TestEmbedSeedDerivedWorkerInvariant(t *testing.T) {
+	r := rng.New(73)
+	pts := make([]vec.Point, 32)
+	for i := range pts {
+		pts[i] = make(vec.Point, 6)
+		for j := range pts[i] {
+			pts[i][j] = float64(1 + r.Intn(256))
+		}
+	}
+	run := func(workers int, derived bool) []byte {
+		c := mpc.New(mpc.Config{Machines: 4, CapWords: 1 << 22})
+		tree, _, err := Embed(c, pts, Options{R: 2, Seed: 79, Workers: workers, SeedDerivedGrids: derived})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := tree.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := run(1, true)
+	if !bytes.Equal(want, run(1, false)) {
+		t.Fatal("seed-derived grids changed the tree")
+	}
+	if !bytes.Equal(want, run(8, true)) {
+		t.Fatal("workers=8 seed-derived: tree bytes differ from serial run")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"mpctree/internal/grid"
 	"mpctree/internal/hst"
 	"mpctree/internal/mpc"
+	"mpctree/internal/par"
 	"mpctree/internal/partition"
 	"mpctree/internal/rng"
 	"mpctree/internal/vec"
@@ -88,6 +89,13 @@ type Options struct {
 	Compress bool
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the data-parallel fan-out of the per-point path
+	// computation in step 3 (par.Workers semantics: ≤ 0 means
+	// runtime.GOMAXPROCS(0), 1 is serial). Paths are pure functions of the
+	// broadcast grids and the point, and edge dedup/emission is replayed
+	// serially in store order, so the output tree — and every emitted
+	// record — is bit-identical for any worker count.
+	Workers int
 }
 
 // Info reports the run's accounting.
@@ -414,84 +422,127 @@ func Embed(c *mpc.Cluster, pts []vec.Point, opt Options) (*hst.Tree, *Info, erro
 				points = append(points, rec)
 			}
 		}
-		seenEdge := make(map[string]bool)
-		var scratch [16]int64
-		var keepPaths []mpc.Record
-		for _, prec := range points {
-			pid := int(prec.Ints[0])
-			p := prec.Data
-			if len(p) < dPad {
-				padded := make(vec.Point, dPad)
-				copy(padded, p)
-				p = padded
-			}
-			cur := rootHash()
-			w := diam / 2
-			ok := true
-			var pathInts []int64
-			if opt.EmitPaths {
-				pathInts = append(pathInts, int64(pid))
-			}
-			for lev := 1; lev <= levels && ok; lev++ {
-				// Joined ball id across buckets.
-				var levelID []byte
-				for j := 0; j < r && ok; j++ {
-					proj := vec.Bucket(p, j, r)
-					covered := false
-					for uu := 0; uu < u; uu++ {
-						g := grids[gk{lev, j, uu}]
-						if idx, in := g.InBall(proj, w, scratch[:0]); in {
-							levelID = append(levelID, byte(j))
-							var ub [8]byte
-							binary.LittleEndian.PutUint64(ub[:], uint64(uu))
-							levelID = append(levelID, ub[:]...)
-							for _, v := range idx {
-								var vb [8]byte
-								binary.LittleEndian.PutUint64(vb[:], uint64(v))
-								levelID = append(levelID, vb[:]...)
+		// Per-point path computation — the hot loop. Each point's path is a
+		// pure function of the (read-only) grid map and its own coordinates,
+		// so points fan out over workers, each writing only its result slot;
+		// dedup and emission are replayed serially below in store order,
+		// making every emitted record byte-identical to the serial sweep.
+		type levEdge struct {
+			lev          int
+			key          string // child chain hash
+			parHi, parLo int64
+			weight       float64
+		}
+		type ptResult struct {
+			failLev, failBucket int // failLev > 0 marks an uncovered point
+			edges               []levEdge
+			pathInts            []int64
+			leafHi, leafLo      int64
+			leafWeight          float64
+		}
+		results := make([]ptResult, len(points))
+		par.For(opt.Workers, len(points), func(plo, phi int) {
+			var scratch [16]int64
+			for pi := plo; pi < phi; pi++ {
+				prec := points[pi]
+				pid := int(prec.Ints[0])
+				p := prec.Data
+				if len(p) < dPad {
+					padded := make(vec.Point, dPad)
+					copy(padded, p)
+					p = padded
+				}
+				res := &results[pi]
+				cur := rootHash()
+				w := diam / 2
+				ok := true
+				if opt.EmitPaths {
+					res.pathInts = append(res.pathInts, int64(pid))
+				}
+				for lev := 1; lev <= levels && ok; lev++ {
+					// Joined ball id across buckets.
+					var levelID []byte
+					for j := 0; j < r && ok; j++ {
+						proj := vec.Bucket(p, j, r)
+						covered := false
+						for uu := 0; uu < u; uu++ {
+							g := grids[gk{lev, j, uu}]
+							if idx, in := g.InBall(proj, w, scratch[:0]); in {
+								levelID = append(levelID, byte(j))
+								var ub [8]byte
+								binary.LittleEndian.PutUint64(ub[:], uint64(uu))
+								levelID = append(levelID, ub[:]...)
+								for _, v := range idx {
+									var vb [8]byte
+									binary.LittleEndian.PutUint64(vb[:], uint64(v))
+									levelID = append(levelID, vb[:]...)
+								}
+								covered = true
+								break
 							}
-							covered = true
-							break
+						}
+						if !covered {
+							res.failLev, res.failBucket = lev, j
+							ok = false
 						}
 					}
-					if !covered {
-						key := fmt.Sprintf("fail|%d|%d|%d", pid, lev, j)
-						emit(hashTo(key, M), mpc.Record{Key: key, Tag: TagFail, Ints: []int64{int64(pid), int64(lev), int64(j)}})
-						ok = false
+					if !ok {
+						break
 					}
-				}
-				if !ok {
-					break
-				}
-				next := chainNext(cur, levelID)
-				edgeKey := string(next[:])
-				if !seenEdge[edgeKey] {
-					seenEdge[edgeKey] = true
-					emit(hashTo(edgeKey, M), mpc.Record{
-						Key:  edgeKey,
-						Tag:  TagEdge,
-						Ints: []int64{int64(lev), int64(binary.LittleEndian.Uint64(cur[:8])), int64(binary.LittleEndian.Uint64(cur[8:]))},
-						Data: []float64{diamFactor * w},
+					next := chainNext(cur, levelID)
+					res.edges = append(res.edges, levEdge{
+						lev:    lev,
+						key:    string(next[:]),
+						parHi:  int64(binary.LittleEndian.Uint64(cur[:8])),
+						parLo:  int64(binary.LittleEndian.Uint64(cur[8:])),
+						weight: diamFactor * w,
 					})
+					cur = next
+					if opt.EmitPaths {
+						res.pathInts = append(res.pathInts, int64(binary.LittleEndian.Uint64(cur[:8])), int64(binary.LittleEndian.Uint64(cur[8:])))
+					}
+					w /= 2
 				}
-				cur = next
-				if opt.EmitPaths {
-					pathInts = append(pathInts, int64(binary.LittleEndian.Uint64(cur[:8])), int64(binary.LittleEndian.Uint64(cur[8:])))
+				if ok {
+					res.leafHi = int64(binary.LittleEndian.Uint64(cur[:8]))
+					res.leafLo = int64(binary.LittleEndian.Uint64(cur[8:]))
+					res.leafWeight = diamFactor * w
 				}
-				w /= 2
 			}
-			if ok && opt.EmitPaths {
-				keepPaths = append(keepPaths, mpc.Record{Key: fmt.Sprintf("path|%d", pid), Tag: TagPath, Ints: pathInts})
-			}
-			if ok {
-				// Terminal leaf edge at level levels+1.
-				emit(hashTo(fmt.Sprintf("leaf|%d", pid), M), mpc.Record{
-					Key:  fmt.Sprintf("leaf|%d", pid),
-					Tag:  TagLeaf,
-					Ints: []int64{int64(pid), int64(levels + 1), int64(binary.LittleEndian.Uint64(cur[:8])), int64(binary.LittleEndian.Uint64(cur[8:]))},
-					Data: []float64{diamFactor * w},
+		})
+		// Serial replay: dedup and emit in store order.
+		seenEdge := make(map[string]bool)
+		var keepPaths []mpc.Record
+		for pi, prec := range points {
+			pid := int(prec.Ints[0])
+			res := &results[pi]
+			for _, e := range res.edges {
+				if seenEdge[e.key] {
+					continue
+				}
+				seenEdge[e.key] = true
+				emit(hashTo(e.key, M), mpc.Record{
+					Key:  e.key,
+					Tag:  TagEdge,
+					Ints: []int64{int64(e.lev), e.parHi, e.parLo},
+					Data: []float64{e.weight},
 				})
 			}
+			if res.failLev > 0 {
+				key := fmt.Sprintf("fail|%d|%d|%d", pid, res.failLev, res.failBucket)
+				emit(hashTo(key, M), mpc.Record{Key: key, Tag: TagFail, Ints: []int64{int64(pid), int64(res.failLev), int64(res.failBucket)}})
+				continue
+			}
+			if opt.EmitPaths {
+				keepPaths = append(keepPaths, mpc.Record{Key: fmt.Sprintf("path|%d", pid), Tag: TagPath, Ints: res.pathInts})
+			}
+			// Terminal leaf edge at level levels+1.
+			emit(hashTo(fmt.Sprintf("leaf|%d", pid), M), mpc.Record{
+				Key:  fmt.Sprintf("leaf|%d", pid),
+				Tag:  TagLeaf,
+				Ints: []int64{int64(pid), int64(levels + 1), res.leafHi, res.leafLo},
+				Data: []float64{res.leafWeight},
+			})
 		}
 		return keepPaths // grids and points are consumed; paths (if requested) stay resident
 	})

@@ -1,0 +1,134 @@
+// Package par is the deterministic data-parallel execution layer used by
+// the hot kernels (batched Walsh–Hadamard transforms, the FJLT projection,
+// per-point root-path computation, and the pairwise-distance loops).
+//
+// The design contract is reproducibility first: a computation fanned out
+// through this package must produce bit-identical results for ANY worker
+// count, including 1. The package guarantees that by construction:
+//
+//   - work is divided by static index-range sharding — shard boundaries
+//     are a pure function of the item count, never of the worker count or
+//     of scheduling, so per-shard accumulators see identical inputs on
+//     every run;
+//   - the pool is bounded — at most `workers` goroutines run shard bodies
+//     concurrently — but which goroutine runs which shard is irrelevant,
+//     because shards may only write to disjoint state (their own index
+//     range, or their own shard-indexed accumulator slot);
+//   - reductions are the caller's job and must be performed serially in
+//     shard order (see For's doc); min/max-style reductions that are
+//     exactly associative may fold per-shard results in any fixed order.
+//
+// Randomness must NOT be drawn inside a sharded body: all RNG streams in
+// this repository are serial by contract (internal/rng). Callers draw
+// whatever randomness an item needs before fanning out, or derive it from
+// hashed coordinates (rng.NewHashed), both of which are order-independent.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count option: w > 0 is used as given, any
+// other value selects runtime.GOMAXPROCS(0). This is the single place the
+// "-workers" default is defined.
+func Workers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// shardCount returns the number of static shards for n items: one shard
+// per item up to maxShards. Shard boundaries depend only on n and
+// maxShards, which callers must keep fixed per call site (For and Shards
+// derive maxShards from the worker count, which is why their OUTPUT
+// contract — not their shard layout — is what is worker-invariant).
+func shardCount(workers, n int) int {
+	if workers > n {
+		return n
+	}
+	return workers
+}
+
+// For runs fn over [0, n) split into at most `workers` contiguous shards,
+// concurrently. fn(lo, hi) processes items lo ≤ i < hi and MUST touch only
+// state owned by those indices (e.g. out[i] slots); under that contract
+// the result is bit-identical for any worker count. workers ≤ 1, n ≤ 1,
+// or a single shard runs inline with no goroutines.
+func For(workers, n int, fn func(lo, hi int)) {
+	Shards(workers, n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// Shards is For with the shard index exposed: fn(shard, lo, hi) may
+// additionally write to a shard-indexed accumulator slot (acc[shard]).
+// The number of shards actually used is returned so callers can size
+// accumulators with it; it never exceeds min(workers, n).
+//
+// Deterministic reduction rule: per-shard partials may be folded serially
+// in shard order (bit-identical only if the fold is insensitive to shard
+// boundaries, e.g. exact min/max or integer sums) — for floating-point
+// sums that must be bit-identical across worker counts, write per-ITEM
+// values via For and fold serially instead.
+func Shards(workers, n int, fn func(shard, lo, hi int)) int {
+	if n <= 0 {
+		return 0
+	}
+	s := shardCount(Workers(workers), n)
+	if s <= 1 {
+		fn(0, 0, n)
+		return 1
+	}
+	// Static contiguous ranges: shard i covers [i*n/s, (i+1)*n/s).
+	var wg sync.WaitGroup
+	wg.Add(s)
+	for i := 0; i < s; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i, i*n/s, (i+1)*n/s)
+		}(i)
+	}
+	wg.Wait()
+	return s
+}
+
+// MinMax folds a per-item (min, max) pair in parallel: f(i) returns the
+// item's value, and items reporting ok=false are skipped. Exact min/max
+// folding is associative and commutative over float64 (no rounding), so
+// the result is bit-identical for any worker count. Returns
+// (+Inf, -Inf-ish defaults) untouched when every item is skipped — the
+// caller supplies the identity values.
+func MinMax(workers, n int, minID, maxID float64, f func(i int) (v float64, ok bool)) (min, max float64) {
+	if n <= 0 {
+		return minID, maxID
+	}
+	s := shardCount(Workers(workers), n)
+	mins := make([]float64, s)
+	maxs := make([]float64, s)
+	Shards(workers, n, func(shard, lo, hi int) {
+		mn, mx := minID, maxID
+		for i := lo; i < hi; i++ {
+			v, ok := f(i)
+			if !ok {
+				continue
+			}
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		mins[shard], maxs[shard] = mn, mx
+	})
+	min, max = minID, maxID
+	for i := 0; i < s; i++ {
+		if mins[i] < min {
+			min = mins[i]
+		}
+		if maxs[i] > max {
+			max = maxs[i]
+		}
+	}
+	return min, max
+}

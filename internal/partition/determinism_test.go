@@ -1,0 +1,62 @@
+package partition
+
+import (
+	"testing"
+
+	"mpctree/internal/rng"
+	"mpctree/internal/vec"
+)
+
+// Worker-count invariance for the parallel partition kernels. Each run
+// consumes a fresh RNG seeded identically — the grids drawn, the ids
+// assigned, and even the number of grids consulted must all match the
+// serial run exactly.
+
+func latticePts(seed uint64, n, d int) []vec.Point {
+	r := rng.New(seed)
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		pts[i] = make(vec.Point, d)
+		for j := range pts[i] {
+			pts[i][j] = float64(r.Intn(64))
+		}
+	}
+	return pts
+}
+
+func assertResultsEqual(t *testing.T, want, got Result, label string, workers int) {
+	t.Helper()
+	if got.Uncovered != want.Uncovered || got.GridsUsed != want.GridsUsed {
+		t.Fatalf("%s(workers=%d): bookkeeping differs: uncovered %d vs %d, grids %d vs %d",
+			label, workers, got.Uncovered, want.Uncovered, got.GridsUsed, want.GridsUsed)
+	}
+	for i := range want.IDs {
+		if got.IDs[i] != want.IDs[i] {
+			t.Fatalf("%s(workers=%d): point %d id %q vs %q", label, workers, i, got.IDs[i], want.IDs[i])
+		}
+	}
+}
+
+func TestBallPartitionWorkerInvariant(t *testing.T) {
+	pts := latticePts(41, 45, 3)
+	const w, maxGrids = 24.0, 4096
+	want := BallPartitionPar(rng.New(7), pts, w, maxGrids, 1)
+	for _, workers := range []int{2, 3, 8} {
+		got := BallPartitionPar(rng.New(7), pts, w, maxGrids, workers)
+		assertResultsEqual(t, want, got, "BallPartitionPar", workers)
+	}
+	serial := BallPartition(rng.New(7), pts, w, maxGrids)
+	assertResultsEqual(t, want, serial, "BallPartition", 1)
+}
+
+func TestHybridPartitionWorkerInvariant(t *testing.T) {
+	pts := latticePts(43, 45, 8)
+	const w, r, maxGrids = 48.0, 4, 4096
+	want := HybridPartitionPar(rng.New(9), pts, w, r, maxGrids, 1)
+	for _, workers := range []int{2, 8} {
+		got := HybridPartitionPar(rng.New(9), pts, w, r, maxGrids, workers)
+		assertResultsEqual(t, want, got, "HybridPartitionPar", workers)
+	}
+	serial := HybridPartition(rng.New(9), pts, w, r, maxGrids)
+	assertResultsEqual(t, want, serial, "HybridPartition", 1)
+}

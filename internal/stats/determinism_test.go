@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"mpctree/internal/core"
+	"mpctree/internal/hst"
+	"mpctree/internal/rng"
+	"mpctree/internal/vec"
+)
+
+// MeasureDistortionPar must reproduce the serial measurement bit for bit:
+// per-pair ratios land in slots and every float sum folds serially in pair
+// order, so no worker count can perturb the statistics.
+func TestMeasureDistortionWorkerInvariant(t *testing.T) {
+	r := rng.New(61)
+	pts := make([]vec.Point, 40)
+	for i := range pts {
+		pts[i] = make(vec.Point, 6)
+		for j := range pts[i] {
+			pts[i][j] = float64(1 + r.Intn(256))
+		}
+	}
+
+	measure := func(workers int) Distortion {
+		d, err := MeasureDistortionPar(pts, 5, workers, func(seed uint64) (*hst.Tree, error) {
+			tr, _, err := core.Embed(pts, core.Options{Method: core.MethodGrid, Seed: 1000 + seed, Workers: workers})
+			return tr, err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	want := measure(1)
+	for _, workers := range []int{2, 8} {
+		got := measure(workers)
+		for name, pair := range map[string][2]float64{
+			"MaxMeanRatio": {want.MaxMeanRatio, got.MaxMeanRatio},
+			"MeanRatio":    {want.MeanRatio, got.MeanRatio},
+			"MinRatio":     {want.MinRatio, got.MinRatio},
+			"P95Ratio":     {want.P95Ratio, got.P95Ratio},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Fatalf("workers=%d: %s = %v, serial %v", workers, name, pair[1], pair[0])
+			}
+		}
+		if got.Trees != want.Trees || got.Pairs != want.Pairs {
+			t.Fatalf("workers=%d: counters differ: %+v vs %+v", workers, got, want)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"mpctree/internal/hst"
+	"mpctree/internal/par"
 	"mpctree/internal/vec"
 )
 
@@ -30,6 +31,16 @@ type Distortion struct {
 // seed 0..trees-1) against the Euclidean metric of pts. Pairs with zero
 // distance are skipped. build returning an error aborts.
 func MeasureDistortion(pts []vec.Point, trees int, build func(seed uint64) (*hst.Tree, error)) (Distortion, error) {
+	return MeasureDistortionPar(pts, trees, 1, build)
+}
+
+// MeasureDistortionPar is MeasureDistortion with the per-pair ratio
+// computation sharded over workers (par.Workers semantics). Each pair's
+// ratio lands in its own slot (tree distance queries are read-only) and
+// every floating-point sum is folded serially in fixed pair order, so the
+// result is bit-identical to the serial measurement for any worker count.
+// build is always called serially, once per seed.
+func MeasureDistortionPar(pts []vec.Point, trees, workers int, build func(seed uint64) (*hst.Tree, error)) (Distortion, error) {
 	n := len(pts)
 	if n < 2 {
 		return Distortion{}, fmt.Errorf("stats: need ≥ 2 points")
@@ -46,13 +57,21 @@ func MeasureDistortion(pts []vec.Point, trees int, build func(seed uint64) (*hst
 	sums := make([]float64, len(pairs))
 	minRatio := math.Inf(1)
 	var grand float64
+	ratios := make([]float64, len(pairs))
 	for s := 0; s < trees; s++ {
 		t, err := build(uint64(s))
 		if err != nil {
 			return Distortion{}, err
 		}
-		for k, pr := range pairs {
-			ratio := t.Dist(pr.i, pr.j) / vec.Dist(pts[pr.i], pts[pr.j])
+		par.For(workers, len(pairs), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				pr := pairs[k]
+				ratios[k] = t.Dist(pr.i, pr.j) / vec.Dist(pts[pr.i], pts[pr.j])
+			}
+		})
+		// Serial fold in pair order: same float addition sequence as the
+		// serial sweep, so sums/grand/minRatio are bit-identical.
+		for k, ratio := range ratios {
 			sums[k] += ratio
 			grand += ratio
 			if ratio < minRatio {

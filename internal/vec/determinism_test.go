@@ -1,0 +1,87 @@
+package vec
+
+import (
+	"math"
+	"testing"
+
+	"mpctree/internal/rng"
+)
+
+// The parallel reductions must be bit-identical to their serial
+// counterparts for any worker count — including float extrema over
+// pairwise distances, where shard boundaries must not leak into the
+// result.
+
+func normalPts(seed uint64, n, d int) []Point {
+	r := rng.New(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = make(Point, d)
+		for j := range pts[i] {
+			pts[i][j] = r.Normal() * 100
+		}
+	}
+	return pts
+}
+
+func TestBoundsWorkerInvariant(t *testing.T) {
+	pts := normalPts(51, 37, 6)
+	want := BoundsPar(pts, 1)
+	for _, workers := range []int{2, 3, 8} {
+		got := BoundsPar(pts, workers)
+		for j := range want.Lo {
+			if math.Float64bits(got.Lo[j]) != math.Float64bits(want.Lo[j]) ||
+				math.Float64bits(got.Hi[j]) != math.Float64bits(want.Hi[j]) {
+				t.Fatalf("BoundsPar(workers=%d) dim %d: [%v,%v] vs [%v,%v]",
+					workers, j, got.Lo[j], got.Hi[j], want.Lo[j], want.Hi[j])
+			}
+		}
+	}
+	serial := Bounds(pts)
+	if math.Float64bits(serial.Diameter()) != math.Float64bits(want.Diameter()) {
+		t.Fatal("Bounds diverges from BoundsPar(1)")
+	}
+}
+
+func TestPairwiseExtremaWorkerInvariant(t *testing.T) {
+	pts := normalPts(53, 41, 5)
+	wantMin := MinPairwiseDistPar(pts, 1)
+	wantMax := MaxPairwiseDistPar(pts, 1)
+	wantAR := AspectRatioPar(pts, 1)
+	for _, workers := range []int{2, 8} {
+		if got := MinPairwiseDistPar(pts, workers); math.Float64bits(got) != math.Float64bits(wantMin) {
+			t.Fatalf("MinPairwiseDistPar(workers=%d) = %v, serial %v", workers, got, wantMin)
+		}
+		if got := MaxPairwiseDistPar(pts, workers); math.Float64bits(got) != math.Float64bits(wantMax) {
+			t.Fatalf("MaxPairwiseDistPar(workers=%d) = %v, serial %v", workers, got, wantMax)
+		}
+		if got := AspectRatioPar(pts, workers); math.Float64bits(got) != math.Float64bits(wantAR) {
+			t.Fatalf("AspectRatioPar(workers=%d) = %v, serial %v", workers, got, wantAR)
+		}
+	}
+	if got := MinPairwiseDist(pts); math.Float64bits(got) != math.Float64bits(wantMin) {
+		t.Fatal("MinPairwiseDist diverges from Par(1)")
+	}
+	if got := MaxPairwiseDist(pts); math.Float64bits(got) != math.Float64bits(wantMax) {
+		t.Fatal("MaxPairwiseDist diverges from Par(1)")
+	}
+	if got := AspectRatio(pts); math.Float64bits(got) != math.Float64bits(wantAR) {
+		t.Fatal("AspectRatio diverges from Par(1)")
+	}
+}
+
+func TestParVariantsDegenerateInputs(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		if d := MinPairwiseDistPar(nil, workers); !math.IsInf(d, 1) {
+			t.Fatalf("MinPairwiseDistPar(nil, %d) = %v, want +Inf (fold identity)", workers, d)
+		}
+		one := []Point{{1, 2}}
+		if d := MaxPairwiseDistPar(one, workers); d != 0 {
+			t.Fatalf("MaxPairwiseDistPar(single, %d) = %v", workers, d)
+		}
+		b := BoundsPar(one, workers)
+		if b.Diameter() != 0 {
+			t.Fatalf("BoundsPar(single, %d).Diameter() = %v", workers, b.Diameter())
+		}
+	}
+}

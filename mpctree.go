@@ -95,6 +95,10 @@ type MPCOptions struct {
 	Pipeline core.PipelineOptions
 	// Seed drives all randomness (overrides Pipeline.Seed when nonzero).
 	Seed uint64
+	// Workers bounds the data-parallel fan-out of pure compute in both
+	// stages (overrides Pipeline.Workers when nonzero; ≤ 0 or unset there
+	// means GOMAXPROCS). The embedding is bit-identical for any value.
+	Workers int
 	// Faults, if set, installs a fault-injection schedule on the simulated
 	// cluster before the pipeline runs (see mpc.FaultPlan). Pair it with
 	// Pipeline.Resilient to exercise recovery; without it, the first
@@ -139,6 +143,9 @@ func EmbedMPC(pts []Point, opt MPCOptions) (*Tree, *MPCInfo, error) {
 	popt := opt.Pipeline
 	if opt.Seed != 0 {
 		popt.Seed = opt.Seed
+	}
+	if opt.Workers != 0 {
+		popt.Workers = opt.Workers
 	}
 	tree, pinfo, err := core.EmbedPipeline(cluster, pts, popt)
 	info := &MPCInfo{PipelineInfo: pinfo, Machines: machines, CapWords: capWords, Metrics: cluster.Metrics()}
@@ -191,6 +198,9 @@ func NewDistributedEmbedding(pts []Point, opt MPCOptions) (*DistributedEmbedding
 	eo := opt.Pipeline.Embed
 	if opt.Seed != 0 {
 		eo.Seed = opt.Seed
+	}
+	if opt.Workers != 0 {
+		eo.Workers = opt.Workers
 	}
 	return mpcapps.Embed(cluster, pts, eo)
 }
