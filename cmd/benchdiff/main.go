@@ -185,6 +185,17 @@ func main() {
 	}
 
 	if len(regressions) > 0 {
+		// A baseline recorded on different hardware is not comparable:
+		// worker-pool benchmarks shift with the core count, so a CPU-count
+		// mismatch downgrades the failure to a warning.
+		if base != nil && base.CPUs != 0 && base.CPUs != rep.CPUs {
+			fmt.Fprintf(os.Stderr, "benchdiff: WARNING: %d apparent regression(s), but baseline was recorded on %d CPUs and this machine has %d — not comparable, not failing:\n",
+				len(regressions), base.CPUs, rep.CPUs)
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  ", r)
+			}
+			return
+		}
 		fmt.Fprintln(os.Stderr, "benchdiff: REGRESSIONS:")
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "  ", r)

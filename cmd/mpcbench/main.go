@@ -21,6 +21,10 @@ import (
 	"time"
 
 	"mpctree/internal/experiments"
+	"mpctree/internal/mpc"
+	"mpctree/internal/obs"
+	"mpctree/internal/par"
+	"mpctree/internal/resilient"
 )
 
 func main() {
@@ -32,6 +36,8 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 0, "fault-schedule seed (0 = derive from -seed)")
 	maxRetries := flag.Int("max-retries", 0, "per-stage retry budget for E16-Chaos (0 = default)")
 	workers := flag.Int("workers", 0, "data-parallel workers for pure compute; results are identical for any value (0 = GOMAXPROCS)")
+	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the experiments run (e.g. :9090)")
+	trace := flag.Bool("trace", false, "record per-round traces on every simulated cluster and print them after each experiment")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +52,39 @@ func main() {
 		ids = []string{*exp}
 	}
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers, Faults: *faults, FaultSeed: *faultSeed, MaxRetries: *maxRetries}
+
+	// Observability: instrument every cluster the experiments create (the
+	// OnCluster hook) plus the shared par/resilient meters, and optionally
+	// serve them live. Experiments run serially, so the traced slice needs
+	// no locking.
+	var reg *obs.Registry
+	var traced []*mpc.Cluster
+	if *httpAddr != "" {
+		reg = obs.New()
+		par.Instrument(reg)
+		resilient.Instrument(reg)
+	}
+	if reg != nil || *trace {
+		cfg.OnCluster = func(c *mpc.Cluster) {
+			if reg != nil {
+				c.Instrument(reg)
+			}
+			if *trace {
+				c.EnableTrace()
+				traced = append(traced, c)
+			}
+		}
+	}
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpcbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+
 	failed := 0
 	for _, id := range ids {
 		start := time.Now()
@@ -56,6 +95,12 @@ func main() {
 			continue
 		}
 		fmt.Print(res.String())
+		for _, c := range traced {
+			if st := c.Trace(); len(st) > 0 {
+				fmt.Print(mpc.FormatTrace(st))
+			}
+		}
+		traced = traced[:0]
 		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		failed += len(res.Failed())
 	}

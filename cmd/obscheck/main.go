@@ -1,0 +1,141 @@
+// Command obscheck validates a running process's observability endpoints:
+// it polls /metrics until the target is up, checks that the exposition
+// parses as Prometheus text format (the same grammar internal/obs
+// enforces on the producer side), asserts required series are present,
+// verifies /debug/vars is valid JSON, and optionally saves the /trace
+// span dump. The CI smoke job points it at a backgrounded treembed run.
+//
+//	obscheck -url http://127.0.0.1:9090 \
+//	  -require mpc_rounds_total,mpc_comm_words_total \
+//	  -trace-out spans.json
+//
+// Exit status: 0 when every check passes, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"mpctree/internal/obs"
+)
+
+func main() {
+	var (
+		base     = flag.String("url", "http://127.0.0.1:9090", "base URL of the debug server")
+		require  = flag.String("require", "", "comma-separated metric families that must be present")
+		traceOut = flag.String("trace-out", "", "write the /trace?format=json span dump to this file")
+		timeout  = flag.Duration("timeout", 30*time.Second, "how long to keep polling for the target to come up")
+	)
+	flag.Parse()
+
+	var wanted []string
+	for _, w := range strings.Split(*require, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			wanted = append(wanted, w)
+		}
+	}
+
+	// Required series may register moments after the server comes up (the
+	// cluster is instrumented when the pipeline creates it), so the
+	// presence check is part of the polling loop, not a one-shot.
+	var nfamilies int
+	err := poll(*timeout, func() error {
+		body, err := get(*base + "/metrics")
+		if err != nil {
+			return err
+		}
+		families, err := obs.ValidatePrometheus(string(body))
+		if err != nil {
+			return fmt.Errorf("/metrics is not valid Prometheus text format: %w", err)
+		}
+		have := make(map[string]bool, len(families))
+		for _, f := range families {
+			have[f] = true
+		}
+		var missing []string
+		for _, w := range wanted {
+			if !have[w] {
+				missing = append(missing, w)
+			}
+		}
+		if len(missing) > 0 {
+			return fmt.Errorf("required series missing from /metrics: %s", strings.Join(missing, ", "))
+		}
+		nfamilies = len(families)
+		return nil
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("obscheck: /metrics OK — %d families, all %d required series present\n", nfamilies, len(wanted))
+
+	vars, err := get(*base + "/debug/vars")
+	if err != nil {
+		fail("scrape /debug/vars: %v", err)
+	}
+	var anyJSON map[string]any
+	if err := json.Unmarshal(vars, &anyJSON); err != nil {
+		fail("/debug/vars is not valid JSON: %v", err)
+	}
+	fmt.Println("obscheck: /debug/vars OK")
+
+	if *traceOut != "" {
+		tr, err := get(*base + "/trace?format=json")
+		if err != nil {
+			fail("scrape /trace: %v", err)
+		}
+		var span map[string]any
+		if err := json.Unmarshal(tr, &span); err != nil {
+			fail("/trace?format=json is not valid JSON: %v", err)
+		}
+		if _, ok := span["name"]; !ok {
+			fail("/trace JSON has no span name: %s", tr)
+		}
+		if err := os.WriteFile(*traceOut, tr, 0o644); err != nil {
+			fail("write %s: %v", *traceOut, err)
+		}
+		fmt.Printf("obscheck: span dump (root %q) written to %s\n", span["name"], *traceOut)
+	}
+}
+
+// poll retries check until it succeeds or the timeout elapses.
+func poll(timeout time.Duration, check func() error) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		err := check()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gave up after %v: %w", timeout, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func get(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
+	os.Exit(1)
+}

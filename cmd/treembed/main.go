@@ -17,11 +17,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"mpctree"
 	"mpctree/internal/core"
+	"mpctree/internal/obs"
+	"mpctree/internal/par"
+	"mpctree/internal/resilient"
 	"mpctree/internal/stats"
 	"mpctree/internal/vec"
 	"mpctree/internal/workload"
@@ -47,8 +52,15 @@ func main() {
 		maxRetries = flag.Int("max-retries", 0, "per-stage retry budget under -faults (0 = auto 40, -1 = none)")
 		saveTo     = flag.String("save", "", "write the embedding tree (binary) to this file")
 		dotTo      = flag.String("dot", "", "write the tree as Graphviz DOT to this file")
+		httpAddr   = flag.String("http", "", "serve /metrics, /trace, /debug/vars and /debug/pprof on this address (e.g. :9090) and linger after the run until SIGINT (with -mpc)")
+		trace      = flag.Bool("trace", false, "record and print the per-round communication/residency trace (with -mpc)")
 	)
 	flag.Parse()
+
+	if (*httpAddr != "" || *trace) && !*useMPC {
+		fmt.Fprintln(os.Stderr, "treembed: -http and -trace require -mpc (they observe the simulated cluster)")
+		os.Exit(2)
+	}
 
 	pts, err := loadOrGenerate(*in, *gen, *n, *d, *delta, *seed)
 	if err != nil {
@@ -58,7 +70,30 @@ func main() {
 	fmt.Printf("points: %d, dimension: %d\n", len(pts), len(pts[0]))
 
 	if *useMPC {
-		mopt := mpctree.MPCOptions{Machines: *machines, CapWords: 1 << 22, Seed: *seed, Workers: *workers}
+		mopt := mpctree.MPCOptions{Machines: *machines, CapWords: 1 << 22, Seed: *seed, Workers: *workers, Trace: *trace}
+
+		// Observability: a registry + root span feed the debug server (if
+		// any). Everything here is write-only instrumentation — the tree is
+		// bit-identical with or without it.
+		var reg *obs.Registry
+		var root *obs.Span
+		var srv *obs.Server
+		if *httpAddr != "" {
+			reg = obs.New()
+			par.Instrument(reg)
+			resilient.Instrument(reg)
+			root = obs.NewSpan("treembed")
+			mopt.Obs = reg
+			mopt.Span = root
+			var err error
+			srv, err = obs.Serve(*httpAddr, reg, root)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "treembed:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("observability: http://%s (/metrics, /trace, /debug/vars, /debug/pprof)\n", srv.Addr())
+		}
+
 		if *faults > 0 {
 			fs := *faultSeed
 			if fs == 0 {
@@ -97,6 +132,22 @@ func main() {
 			if info.Degraded {
 				fmt.Printf("DEGRADED: %s (embedded original un-reduced points)\n", info.DegradedReason)
 			}
+		}
+		if *trace {
+			fmt.Print(mpctree.FormatRoundTrace(info.RoundTrace))
+		}
+		root.End()
+		if root != nil {
+			fmt.Print(root.RenderString())
+		}
+		if srv != nil {
+			// Linger so scrapers (CI smoke job, a browsing human) can read
+			// the finished run's metrics and span tree at leisure.
+			fmt.Printf("serving on http://%s until SIGINT/SIGTERM\n", srv.Addr())
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+			<-ch
+			srv.Close()
 		}
 		return
 	}

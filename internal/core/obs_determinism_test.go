@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"mpctree/internal/fjlt"
+	"mpctree/internal/hst"
+	"mpctree/internal/mpc"
+	"mpctree/internal/obs"
+	"mpctree/internal/par"
+	"mpctree/internal/resilient"
+	"mpctree/internal/vec"
+	"mpctree/internal/workload"
+)
+
+// runPipeline executes the Theorem-1 pipeline on a fresh cluster and
+// returns the serialized tree plus the cluster for metric inspection.
+func runPipeline(t *testing.T, pts []vec.Point, opt PipelineOptions, instrument bool, reg *obs.Registry) ([]byte, *mpc.Cluster) {
+	t.Helper()
+	c := mpc.New(mpc.Config{Machines: 4, CapWords: 1 << 22})
+	if instrument {
+		c.Instrument(reg)
+		c.EnableTrace()
+	}
+	tree, _, err := EmbedPipeline(c, pts, opt)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), c
+}
+
+// The hard determinism constraint of the observability layer: a fully
+// instrumented run (registry + spans + round trace + par/resilient
+// meters) must produce a tree byte-identical to the bare run, at any
+// worker count. Instrumentation is write-only; timing never feeds back.
+func TestObservabilityPreservesDeterminism(t *testing.T) {
+	pts := workload.UniformLattice(42, 48, 120, 512)
+	opt := PipelineOptions{Xi: 0.3, FJLT: fjlt.Options{CK: 1}, Seed: 7}
+
+	bare, _ := runPipeline(t, pts, opt, false, nil)
+
+	reg := obs.New()
+	par.Instrument(reg)
+	resilient.Instrument(reg)
+	root := obs.NewSpan("test")
+	iopt := opt
+	iopt.Span = root
+	instrumented, c := runPipeline(t, pts, iopt, true, reg)
+	root.End()
+
+	if !bytes.Equal(bare, instrumented) {
+		t.Fatal("instrumented run's tree differs from uninstrumented run")
+	}
+
+	// Worker-count invariance must survive with observability on.
+	for _, workers := range []int{1, 8} {
+		wopt := iopt
+		wopt.Workers = workers
+		wspan := obs.NewSpan("test-workers")
+		wopt.Span = wspan
+		got, _ := runPipeline(t, pts, wopt, true, reg)
+		wspan.End()
+		if !bytes.Equal(bare, got) {
+			t.Fatalf("workers=%d with observability on: tree differs", workers)
+		}
+	}
+
+	// Phase attribution must be exact on a fault-free run: the rounds and
+	// comm words summed over leaf spans equal the cluster's totals.
+	m := c.Metrics()
+	sn := root.Snapshot()
+	if got := sn.SumMetric("rounds"); got != int64(m.Rounds) {
+		t.Errorf("span leaf-sum rounds = %d, cluster says %d\n%s", got, m.Rounds, root.RenderString())
+	}
+	if got := sn.SumMetric("comm_words"); got != int64(m.CommWords) {
+		t.Errorf("span leaf-sum comm_words = %d, cluster says %d\n%s", got, m.CommWords, root.RenderString())
+	}
+
+	// And the registry's monotone counters agree with the model on a
+	// fault-free single-cluster run... except the two extra worker runs
+	// above shared reg, so check only the exported round trace bridge:
+	// per-round send volumes from the trace sum to the cluster total.
+	var traceSum int
+	for _, st := range c.Trace() {
+		traceSum += st.SentWords
+	}
+	if traceSum != m.CommWords {
+		t.Errorf("round-trace send sum %d != cluster comm words %d", traceSum, m.CommWords)
+	}
+}
+
+// A resilient chaos run with full observability attached must still
+// produce the fault-free tree (PR 1's bit-identity promise, now with
+// instrumentation in the loop).
+func TestObservabilityPreservesChaosRecovery(t *testing.T) {
+	pts := workload.UniformLattice(43, 32, 120, 512)
+	opt := PipelineOptions{
+		Xi: 0.3, FJLT: fjlt.Options{CK: 1}, Seed: 9,
+		Resilient: true,
+		Retry:     resilient.Options{MaxRetries: 60, Seed: 10},
+	}
+	bare, _ := runPipeline(t, pts, opt, false, nil)
+
+	reg := obs.New()
+	par.Instrument(reg)
+	resilient.Instrument(reg)
+	root := obs.NewSpan("chaos")
+	iopt := opt
+	iopt.Span = root
+	c := mpc.New(mpc.Config{Machines: 4, CapWords: 1 << 22})
+	c.Instrument(reg)
+	c.InjectFaults(mpc.UniformFaults(0xC4A05, 0.05))
+	tree, info, err := EmbedPipeline(c, pts, iopt)
+	root.End()
+	if err != nil {
+		t.Fatalf("chaos pipeline: %v", err)
+	}
+	if info.Faults.Injected() == 0 {
+		t.Fatal("no faults injected — test asserts nothing")
+	}
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bare, buf.Bytes()) {
+		t.Fatal("instrumented chaos run's tree differs from bare fault-free run")
+	}
+	if _, err := hst.ReadTree(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("recovered tree does not round-trip: %v", err)
+	}
+}

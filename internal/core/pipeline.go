@@ -11,6 +11,7 @@ import (
 	"mpctree/internal/hst"
 	"mpctree/internal/mpc"
 	"mpctree/internal/mpcembed"
+	"mpctree/internal/obs"
 	"mpctree/internal/resilient"
 	"mpctree/internal/vec"
 )
@@ -53,6 +54,16 @@ type PipelineOptions struct {
 	// FJLT stage's retry budget fails the pipeline instead of falling
 	// back to embedding the original, un-reduced points.
 	NoDegrade bool
+
+	// Span, if non-nil, receives one child span per stage attempt:
+	// "jl_projection" for the FJLT stage (Algorithm 3) and "tree_embed"
+	// for hybrid partitioning (Algorithm 2) — the latter with
+	// grid_construction / root_paths / tree_build children attributed
+	// inside mpcembed. Each attempt span carries the exact rounds and
+	// comm_words it consumed (from the cluster meters); failed attempts
+	// are marked failed=1 and retries attempt=k. Spans are observational
+	// only: the output tree is bit-identical with or without them.
+	Span *obs.Span
 }
 
 // PipelineInfo aggregates accounting across both stages.
@@ -133,11 +144,27 @@ func EmbedPipeline(c *mpc.Cluster, pts []vec.Point, opt PipelineOptions) (*hst.T
 	if retry.Seed == 0 {
 		retry.Seed = opt.Seed ^ 0xB0FF
 	}
-	runStage := func(stage string, step func() error) error {
-		if !opt.Resilient {
-			return step()
+	runStage := func(stage, spanName string, step func(sp *obs.Span) error) error {
+		runAttempt := func(attempt int) error {
+			sp := opt.Span.Child(spanName)
+			m0 := c.Metrics()
+			err := step(sp)
+			sp.End()
+			m1 := c.Metrics()
+			sp.Add("rounds", int64(m1.Rounds-m0.Rounds))
+			sp.Add("comm_words", int64(m1.CommWords-m0.CommWords))
+			if attempt > 0 {
+				sp.Add("attempt", int64(attempt))
+			}
+			if err != nil {
+				sp.Add("failed", 1)
+			}
+			return err
 		}
-		st, err := resilient.Run(c, stage, retry, func(int) error { return step() })
+		if !opt.Resilient {
+			return runAttempt(0)
+		}
+		st, err := resilient.Run(c, stage, retry, runAttempt)
 		info.Attempts += st.Attempts
 		info.Escalations += st.Escalations
 		info.VirtualBackoffMs += st.VirtualBackoffMs
@@ -149,7 +176,7 @@ func EmbedPipeline(c *mpc.Cluster, pts []vec.Point, opt PipelineOptions) (*hst.T
 	}
 
 	if d > skipBelow {
-		ferr := runStage("fjlt", func() error {
+		ferr := runStage("fjlt", "jl_projection", func(_ *obs.Span) error {
 			mapped, err := fjlt.ApplyMPC(c, pts, params, 0, fo.Workers)
 			if err != nil {
 				return err
@@ -196,8 +223,10 @@ func EmbedPipeline(c *mpc.Cluster, pts []vec.Point, opt PipelineOptions) (*hst.T
 	}
 	var tree *hst.Tree
 	var einfo *mpcembed.Info
-	err = runStage("embed", func() error {
-		t, ei, err := mpcembed.Embed(c, work, eo)
+	err = runStage("embed", "tree_embed", func(sp *obs.Span) error {
+		eoAttempt := eo
+		eoAttempt.Span = sp
+		t, ei, err := mpcembed.Embed(c, work, eoAttempt)
 		einfo = ei // partial accounting survives a failed attempt
 		if err != nil {
 			return err

@@ -46,7 +46,7 @@ func runE06(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			c := mpc.New(mpc.Config{Machines: 8, CapWords: 1 << 22})
+			c := cfg.NewCluster(mpc.Config{Machines: 8, CapWords: 1 << 22})
 			mapped, err := fjlt.ApplyMPC(c, wc.pts, p, 0, cfg.Workers)
 			if err != nil {
 				return nil, err
@@ -87,7 +87,7 @@ func runE06(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		c := mpc.New(mpc.Config{Machines: 8, CapWords: 1 << 22})
+		c := cfg.NewCluster(mpc.Config{Machines: 8, CapWords: 1 << 22})
 		if _, err := fjlt.ApplyMPC(c, pts, p, 0, cfg.Workers); err != nil {
 			return nil, err
 		}

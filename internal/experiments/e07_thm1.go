@@ -97,7 +97,7 @@ func runE07(cfg Config) (*Result, error) {
 	roundsPerM := map[int]int{}
 	ptsAcct := workload.UniformLattice(cfg.Seed+71, n, dFix, 512)
 	for _, M := range []int{4, 8} {
-		c := mpc.New(mpc.Config{Machines: M, CapWords: 1 << 22})
+		c := cfg.NewCluster(mpc.Config{Machines: M, CapWords: 1 << 22})
 		_, info, err := mpcembed.Embed(c, ptsAcct, mpcembed.Options{Seed: cfg.Seed + 72})
 		if err != nil {
 			return nil, err

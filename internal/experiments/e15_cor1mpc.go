@@ -50,7 +50,7 @@ func runE15(cfg Config) (*Result, error) {
 			nu[i] /= sn
 		}
 		for _, M := range []int{4, 8} {
-			c := mpc.New(mpc.Config{Machines: M, CapWords: 1 << 22})
+			c := cfg.NewCluster(mpc.Config{Machines: M, CapWords: 1 << 22})
 			e, err := mpcapps.Embed(c, pts, mpcembed.Options{R: 2, Seed: cfg.Seed + 152, Workers: cfg.Workers})
 			if err != nil {
 				return nil, err

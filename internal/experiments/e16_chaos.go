@@ -59,7 +59,7 @@ func runE16(cfg Config) (*Result, error) {
 	}
 
 	run := func(plan *mpc.FaultPlan) (*hst.Tree, *core.PipelineInfo, error) {
-		c := mpc.New(mpc.Config{Machines: 4, CapWords: 1 << 22})
+		c := cfg.NewCluster(mpc.Config{Machines: 4, CapWords: 1 << 22})
 		if plan != nil {
 			c.InjectFaults(plan)
 		}

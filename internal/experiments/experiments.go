@@ -35,6 +35,7 @@ import (
 	"sort"
 	"strings"
 
+	"mpctree/internal/mpc"
 	"mpctree/internal/stats"
 )
 
@@ -61,6 +62,24 @@ type Config struct {
 	// MaxRetries overrides the resilient driver's per-stage retry budget
 	// in E16; 0 keeps the experiment's default.
 	MaxRetries int
+
+	// OnCluster, if set, observes every simulated cluster an experiment
+	// creates, right after creation and before any records are loaded —
+	// the hook cmd/mpcbench uses to attach instrumentation
+	// (Cluster.Instrument) and per-round tracing (Cluster.EnableTrace).
+	// Observational hooks only: the hook must not change cluster behavior.
+	OnCluster func(*mpc.Cluster)
+}
+
+// NewCluster creates a simulated cluster and runs the OnCluster hook on
+// it. Experiments must create clusters through this method so -http /
+// -trace instrumentation reaches every run.
+func (c Config) NewCluster(cfg mpc.Config) *mpc.Cluster {
+	cl := mpc.New(cfg)
+	if c.OnCluster != nil {
+		c.OnCluster(cl)
+	}
+	return cl
 }
 
 // Check is one asserted property of a claim's shape.

@@ -73,6 +73,10 @@ func (c *Cluster) Checkpoint() *Checkpoint {
 	}
 	c.recovery.Checkpoints++
 	c.recovery.CheckpointWords += words
+	if c.obs != nil {
+		c.obs.checkpoints.Inc()
+		c.obs.checkpointWords.Add(int64(words))
+	}
 	return cp
 }
 
@@ -87,11 +91,14 @@ func (c *Cluster) Restore(cp *Checkpoint) {
 	if len(cp.stores) > c.cfg.Machines {
 		panic("mpc: restore into a smaller cluster")
 	}
+	rolledRounds, rolledComm := 0, 0
 	if r := c.m.Rounds - cp.metrics.Rounds; r > 0 {
 		c.recovery.RolledBackRounds += r
+		rolledRounds = r
 	}
 	if w := c.m.CommWords - cp.metrics.CommWords; w > 0 {
 		c.recovery.RolledBackComm += w
+		rolledComm = w
 	}
 	stores, words := deepCopyStores(cp.stores)
 	c.stores = make([][]Record, c.cfg.Machines)
@@ -101,6 +108,12 @@ func (c *Cluster) Restore(cp *Checkpoint) {
 	c.failed = nil
 	c.recovery.Restores++
 	c.recovery.RestoredWords += words
+	if c.obs != nil {
+		c.obs.restores.Inc()
+		c.obs.restoredWords.Add(int64(words))
+		c.obs.rolledBackRounds.Add(int64(rolledRounds))
+		c.obs.rolledBackComm.Add(int64(rolledComm))
+	}
 }
 
 // RaiseCap raises the per-machine memory cap to capWords — a retrying
@@ -110,6 +123,9 @@ func (c *Cluster) Restore(cp *Checkpoint) {
 func (c *Cluster) RaiseCap(capWords int) {
 	if capWords > c.cfg.CapWords {
 		c.cfg.CapWords = capWords
+		if c.obs != nil {
+			c.obs.syncShape(c)
+		}
 	}
 }
 
@@ -123,4 +139,7 @@ func (c *Cluster) Grow(extra int) {
 	}
 	c.cfg.Machines += extra
 	c.stores = append(c.stores, make([][]Record, extra)...)
+	if c.obs != nil {
+		c.obs.syncShape(c)
+	}
 }

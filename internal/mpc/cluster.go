@@ -105,6 +105,7 @@ type Cluster struct {
 
 	faults   *FaultPlan    // optional injection schedule (fault.go)
 	recovery RecoveryStats // checkpoint/restore overhead (checkpoint.go)
+	obs      *obsSink      // optional metrics export (obs.go); write-only
 }
 
 // Errors returned by cluster operations.
@@ -177,7 +178,11 @@ func (c *Cluster) checkSpace(capWords int) error {
 
 // refreshSpace checks residency against the configured cap.
 func (c *Cluster) refreshSpace() error {
-	if err := c.checkSpace(c.cfg.CapWords); err != nil {
+	err := c.checkSpace(c.cfg.CapWords)
+	if c.obs != nil {
+		c.obs.syncShape(c)
+	}
+	if err != nil {
 		return c.fail(err)
 	}
 	return nil
@@ -254,6 +259,9 @@ func (c *Cluster) Round(fn RoundFunc) error {
 	inj := injection{kind: FaultNone}
 	if c.faults != nil {
 		inj = c.faults.draw(c.cfg.Machines)
+	}
+	if inj.kind != FaultNone && c.obs != nil {
+		c.obs.observeFault(inj.kind)
 	}
 	if inj.kind == FaultTransient {
 		// The round never starts: no state changes, but the computation
@@ -393,6 +401,9 @@ func (c *Cluster) Round(fn RoundFunc) error {
 			}
 		}
 		c.roundStats = append(c.roundStats, stat)
+	}
+	if c.obs != nil {
+		c.obs.observeRound(c, stat)
 	}
 	if err != nil {
 		return err

@@ -5,6 +5,7 @@ package mpc
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -25,15 +26,46 @@ func (c *Cluster) EnableTrace() { c.trace = true }
 // called before the rounds ran).
 func (c *Cluster) Trace() []RoundStat { return c.roundStats }
 
-// FormatTrace renders the trace as an aligned table.
+// FormatTrace renders the trace as an aligned table. Column widths adapt
+// to the widest value, so counters past the header width (easily reached
+// by comm-word totals on large runs) stay aligned.
 func FormatTrace(stats []RoundStat) string {
 	if len(stats) == 0 {
 		return "(no trace)"
 	}
+	headers := []string{"round", "sent", "max sent", "max recv", "max resident"}
+	rows := make([][]string, len(stats))
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for i, s := range stats {
+		rows[i] = []string{
+			strconv.Itoa(s.Index),
+			strconv.Itoa(s.SentWords),
+			strconv.Itoa(s.MaxSent),
+			strconv.Itoa(s.MaxReceived),
+			strconv.Itoa(s.MaxResidency),
+		}
+		for j, cell := range rows[i] {
+			if len(cell) > widths[j] {
+				widths[j] = len(cell)
+			}
+		}
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-6s %-12s %-10s %-10s %-12s\n", "round", "sent", "max sent", "max recv", "max resident")
-	for _, s := range stats {
-		fmt.Fprintf(&b, "%-6d %-12d %-10d %-10d %-12d\n", s.Index, s.SentWords, s.MaxSent, s.MaxReceived, s.MaxResidency)
+	writeRow := func(cells []string) {
+		for j, cell := range cells {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%-*s", widths[j], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for _, row := range rows {
+		writeRow(row)
 	}
 	return b.String()
 }

@@ -38,6 +38,7 @@ import (
 	"mpctree/internal/grid"
 	"mpctree/internal/hst"
 	"mpctree/internal/mpc"
+	"mpctree/internal/obs"
 	"mpctree/internal/par"
 	"mpctree/internal/partition"
 	"mpctree/internal/rng"
@@ -96,6 +97,13 @@ type Options struct {
 	// serially in store order, so the output tree — and every emitted
 	// record — is bit-identical for any worker count.
 	Workers int
+	// Span, if non-nil, receives child spans attributing cost to the
+	// Algorithm-2 phases: grid_construction (lines 1–3: diameter, grid
+	// draw, broadcast), root_paths (lines 4–6: per-point paths), and
+	// tree_build (edge dedup, driver assembly, compress). Each child
+	// carries exact rounds/comm_words deltas from the cluster meters;
+	// spans are observational only and never change the output.
+	Span *obs.Span
 }
 
 // Info reports the run's accounting.
@@ -210,6 +218,31 @@ func Embed(c *mpc.Cluster, pts []vec.Point, opt Options) (*hst.Tree, *Info, erro
 	}
 
 	baseRounds := c.Metrics().Rounds
+
+	// Phase spans. One phase is open at a time; endPhase stamps the exact
+	// rounds/comm_words delta the phase consumed, and the deferred call
+	// closes whatever phase an early return leaves open. All of this is
+	// nil-safe (opt.Span == nil costs a handful of struct copies) and
+	// write-only, so instrumented and plain runs produce identical trees.
+	var curSpan *obs.Span
+	var curM mpc.Metrics
+	beginPhase := func(name string) *obs.Span {
+		curSpan = opt.Span.Child(name)
+		curM = c.Metrics()
+		return curSpan
+	}
+	endPhase := func() {
+		if curSpan == nil {
+			return
+		}
+		curSpan.End()
+		m1 := c.Metrics()
+		curSpan.Add("rounds", int64(m1.Rounds-curM.Rounds))
+		curSpan.Add("comm_words", int64(m1.CommWords-curM.CommWords))
+		curSpan = nil
+	}
+	defer endPhase()
+	spGrid := beginPhase("grid_construction")
 
 	// Input placement: one record per point (original dimension; padding
 	// to a bucket multiple is a local, distance-preserving operation each
@@ -406,6 +439,12 @@ func Embed(c *mpc.Cluster, pts []vec.Point, opt Options) (*hst.Tree, *Info, erro
 	} else if err := c.Broadcast(0, gridBlob); err != nil {
 		return nil, info, err
 	}
+	spGrid.Add("levels", int64(levels))
+	spGrid.Add("grids", int64(u*r*levels))
+	spGrid.Add("grid_words", int64(info.GridWords))
+	endPhase()
+	spPaths := beginPhase("root_paths")
+	spPaths.Add("points", int64(n))
 
 	// Step 3: local path computation + edge emission (map-side dedup).
 	M := c.Machines()
@@ -549,6 +588,8 @@ func Embed(c *mpc.Cluster, pts []vec.Point, opt Options) (*hst.Tree, *Info, erro
 	if err != nil {
 		return nil, info, err
 	}
+	endPhase()
+	beginPhase("tree_build")
 
 	// Step 4: dedup edges across machines.
 	if err := c.AggregateByKey(func(a, b mpc.Record) mpc.Record { return a }); err != nil {

@@ -1,0 +1,112 @@
+// The live debug server: -http on treembed/mpcbench serves metrics,
+// spans, expvar, and pprof so long experiment runs can be inspected
+// while they execute.
+//
+// Endpoints:
+//
+//	/metrics        Prometheus text exposition format
+//	/metrics.json   the same snapshot as JSON
+//	/trace          phase-attributed span tree (text; ?format=json for JSON)
+//	/debug/vars     expvar (the registry is published, plus Go's defaults)
+//	/debug/pprof/*  the standard runtime profiles
+//
+// The server observes; it never mutates. Scraping any endpoint at any
+// frequency cannot change algorithmic output — the registry and span
+// accessors take snapshots under their own locks.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is a running debug endpoint.
+type Server struct {
+	addr     string
+	listener net.Listener
+	srv      *http.Server
+
+	mu   sync.Mutex
+	root *Span
+}
+
+// Serve starts the debug server on addr (host:port; ":0" picks a free
+// port) exporting reg and, when non-nil, the span tree rooted at root.
+// The registry is also published to expvar under "mpctree_metrics".
+func Serve(addr string, reg *Registry, root *Span) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	reg.PublishExpvar("mpctree_metrics")
+
+	s := &Server{addr: ln.Addr().String(), listener: ln, root: root}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		root := s.Root()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			data, err := root.MarshalJSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			_, _ = w.Write(append(data, '\n'))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = root.Render(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "mpctree observability\n\n/metrics\n/metrics.json\n/trace (?format=json)\n/debug/vars\n/debug/pprof/\n")
+	})
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves ":0").
+func (s *Server) Addr() string { return s.addr }
+
+// SetRoot swaps the span tree /trace serves — a CLI that runs several
+// pipelines can point the endpoint at the current one.
+func (s *Server) SetRoot(root *Span) {
+	s.mu.Lock()
+	s.root = root
+	s.mu.Unlock()
+}
+
+// Root returns the span tree currently served.
+func (s *Server) Root() *Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.root
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

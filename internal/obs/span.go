@@ -1,0 +1,277 @@
+// Hierarchical spans: wall time, allocation, and model-cost attribution
+// for the Theorem-1 pipeline phases. A span tree for a full MPC run looks
+// like
+//
+//	pipeline
+//	├─ jl_projection        (Algorithm 3: MPC FJLT)
+//	└─ tree_embed           (Algorithm 2)
+//	   ├─ grid_construction (lines 1–3: diameter, grid draw, broadcast)
+//	   ├─ root_paths        (lines 4–6: per-point path computation)
+//	   └─ tree_build        (edge dedup, driver assembly, compress)
+//
+// Each span records wall nanoseconds, heap bytes allocated while it was
+// open (process-wide TotalAlloc delta — attribution is approximate when
+// phases overlap, which the pipeline's phases do not), and caller-supplied
+// model metrics such as rounds and comm_words. Those model metrics are
+// exact: the pipeline snapshots the cluster meters at phase boundaries, so
+// per-phase rounds and comm-words sum to the cluster totals.
+//
+// Every method is safe on a nil *Span — instrumentation call sites never
+// need nil checks — and safe for concurrent use: a live span tree can be
+// rendered by the debug server while the pipeline is still extending it.
+//
+// Spans are observational only. Nothing reads a span to make an
+// algorithmic decision; the determinism suites run with spans on and off
+// and assert bit-identical output.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// spanMu guards every span tree in the process. Span operations happen at
+// phase boundaries (tens per run), so a single lock costs nothing and
+// makes cross-tree rendering trivially safe.
+var spanMu sync.RWMutex
+
+// Span is one node of a phase-attribution tree.
+type Span struct {
+	name     string
+	children []*Span
+
+	start      time.Time
+	wallNs     int64
+	startAlloc uint64
+	allocBytes uint64
+	ended      bool
+
+	metrics map[string]int64
+}
+
+// readTotalAlloc samples the process's cumulative heap allocation.
+// ReadMemStats stops the world briefly; spans open at phase boundaries
+// only, so the cost is a handful of calls per run.
+func readTotalAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+// NewSpan starts a root span.
+func NewSpan(name string) *Span {
+	return &Span{name: name, start: time.Now(), startAlloc: readTotalAlloc(), metrics: map[string]int64{}}
+}
+
+// Child starts a new child span. Nil-safe: a nil parent returns nil, so
+// un-instrumented runs thread nil spans through the pipeline for free.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now(), startAlloc: readTotalAlloc(), metrics: map[string]int64{}}
+	spanMu.Lock()
+	s.children = append(s.children, c)
+	spanMu.Unlock()
+	return c
+}
+
+// End closes the span, freezing its wall time and allocation delta.
+// Ending twice keeps the first measurement. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	alloc := readTotalAlloc()
+	spanMu.Lock()
+	defer spanMu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.wallNs = time.Since(s.start).Nanoseconds()
+	if alloc > s.startAlloc {
+		s.allocBytes = alloc - s.startAlloc
+	}
+}
+
+// Add accumulates a model metric (rounds, comm_words, …) on the span.
+// Nil-safe.
+func (s *Span) Add(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	spanMu.Lock()
+	defer spanMu.Unlock()
+	s.metrics[key] += delta
+}
+
+// Metric reads an accumulated model metric (0 when absent). Nil-safe.
+func (s *Span) Metric(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	spanMu.RLock()
+	defer spanMu.RUnlock()
+	return s.metrics[key]
+}
+
+// SpanSnapshot is the exported form of a span tree node — what /trace
+// serves as JSON and what Render draws.
+type SpanSnapshot struct {
+	Name       string           `json:"name"`
+	WallNs     int64            `json:"wall_ns"`
+	AllocBytes uint64           `json:"alloc_bytes"`
+	Running    bool             `json:"running,omitempty"`
+	Metrics    map[string]int64 `json:"metrics,omitempty"`
+	Children   []*SpanSnapshot  `json:"children,omitempty"`
+}
+
+// Snapshot copies the tree at this instant. Open spans report their wall
+// time so far and Running=true. A nil span snapshots to nil.
+func (s *Span) Snapshot() *SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	spanMu.RLock()
+	defer spanMu.RUnlock()
+	return s.snapshotLocked()
+}
+
+func (s *Span) snapshotLocked() *SpanSnapshot {
+	out := &SpanSnapshot{Name: s.name, WallNs: s.wallNs, AllocBytes: s.allocBytes, Running: !s.ended}
+	if !s.ended {
+		out.WallNs = time.Since(s.start).Nanoseconds()
+	}
+	if len(s.metrics) > 0 {
+		out.Metrics = make(map[string]int64, len(s.metrics))
+		for k, v := range s.metrics {
+			out.Metrics[k] = v
+		}
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, c.snapshotLocked())
+	}
+	return out
+}
+
+// MarshalJSON serializes the span tree snapshot.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Snapshot())
+}
+
+// SumMetric totals a metric over the snapshot's LEAF spans — the
+// attribution identity the pipeline maintains: leaf-phase rounds and
+// comm-words sum to the cluster totals.
+func (sn *SpanSnapshot) SumMetric(key string) int64 {
+	if sn == nil {
+		return 0
+	}
+	if len(sn.Children) == 0 {
+		return sn.Metrics[key]
+	}
+	var total int64
+	for _, c := range sn.Children {
+		total += c.SumMetric(key)
+	}
+	return total
+}
+
+// formatBytes renders an allocation figure compactly.
+func formatBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// Render writes the span tree as a flame-style text table: tree-drawn
+// names, a bar proportional to each span's share of the root's wall time,
+// then wall/alloc and the model metrics.
+func (s *Span) Render(w io.Writer) error {
+	sn := s.Snapshot()
+	if sn == nil {
+		_, err := fmt.Fprintln(w, "(no spans)")
+		return err
+	}
+	type row struct {
+		label string
+		sn    *SpanSnapshot
+	}
+	var rows []row
+	var walk func(sn *SpanSnapshot, prefix string, last bool, root bool)
+	walk = func(sn *SpanSnapshot, prefix string, last, root bool) {
+		label := sn.Name
+		childPrefix := prefix
+		if !root {
+			branch := "├─ "
+			cont := "│  "
+			if last {
+				branch, cont = "└─ ", "   "
+			}
+			label = prefix + branch + sn.Name
+			childPrefix = prefix + cont
+		}
+		rows = append(rows, row{label: label, sn: sn})
+		for i, c := range sn.Children {
+			walk(c, childPrefix, i == len(sn.Children)-1, false)
+		}
+	}
+	walk(sn, "", true, true)
+
+	width := 0
+	for _, r := range rows {
+		if n := len([]rune(r.label)); n > width {
+			width = n
+		}
+	}
+	rootWall := sn.WallNs
+	if rootWall <= 0 {
+		rootWall = 1
+	}
+	const barWidth = 20
+	for _, r := range rows {
+		frac := float64(r.sn.WallNs) / float64(rootWall)
+		if frac > 1 {
+			frac = 1
+		}
+		bar := strings.Repeat("█", int(frac*barWidth+0.5))
+		pad := strings.Repeat(" ", width-len([]rune(r.label)))
+		state := ""
+		if r.sn.Running {
+			state = " (running)"
+		}
+		line := fmt.Sprintf("%s%s  %-*s %5.1f%%  wall %-10v alloc %-8s", r.label, pad, barWidth, bar,
+			frac*100, time.Duration(r.sn.WallNs).Round(time.Microsecond), formatBytes(r.sn.AllocBytes))
+		keys := make([]string, 0, len(r.sn.Metrics))
+		for k := range r.sn.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			line += fmt.Sprintf(" %s=%d", k, r.sn.Metrics[k])
+		}
+		if _, err := fmt.Fprintln(w, line+state); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderString is Render into a string.
+func (s *Span) RenderString() string {
+	var b strings.Builder
+	_ = s.Render(&b)
+	return b.String()
+}

@@ -27,7 +27,57 @@ package par
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpctree/internal/obs"
 )
+
+// parSink holds the package's optional instrumentation series. Shard
+// timing is observational only: it is written, never read, so fan-out
+// results stay bit-identical with instrumentation on or off.
+type parSink struct {
+	fanouts     *obs.Counter
+	shardsRun   *obs.Counter
+	busyNs      *obs.Counter
+	wallNs      *obs.Counter
+	utilization *obs.Gauge
+}
+
+var sink atomic.Pointer[parSink]
+
+// Instrument exports the fork/join layer's meters on reg:
+//
+//	par_fanouts_total         For/Shards/MinMax invocations
+//	par_shards_total          shard bodies executed
+//	par_shard_busy_ns_total   cumulative shard-body CPU-side wall time
+//	par_fanout_wall_ns_total  cumulative fan-out wall time
+//	par_utilization           busy/(wall×shards) of the last fan-out —
+//	                          1.0 means perfectly balanced shards
+//
+// Worker utilization over any scrape interval is
+// Δpar_shard_busy_ns_total / (Δpar_fanout_wall_ns_total × workers).
+func Instrument(reg *obs.Registry) {
+	sink.Store(&parSink{
+		fanouts:     reg.Counter("par_fanouts_total", "Data-parallel fan-out invocations."),
+		shardsRun:   reg.Counter("par_shards_total", "Shard bodies executed across all fan-outs."),
+		busyNs:      reg.Counter("par_shard_busy_ns_total", "Cumulative wall nanoseconds spent inside shard bodies."),
+		wallNs:      reg.Counter("par_fanout_wall_ns_total", "Cumulative wall nanoseconds of whole fan-outs (fork to join)."),
+		utilization: reg.Gauge("par_utilization", "busy/(wall*shards) of the most recent fan-out; 1.0 = perfectly balanced."),
+	})
+}
+
+// record books one completed fan-out.
+func (p *parSink) record(shards int, start time.Time, busy int64) {
+	wall := time.Since(start).Nanoseconds()
+	p.fanouts.Inc()
+	p.shardsRun.Add(int64(shards))
+	p.busyNs.Add(busy)
+	p.wallNs.Add(wall)
+	if wall > 0 && shards > 0 {
+		p.utilization.Set(float64(busy) / (float64(wall) * float64(shards)))
+	}
+}
 
 // Workers resolves a worker-count option: w > 0 is used as given, any
 // other value selects runtime.GOMAXPROCS(0). This is the single place the
@@ -75,8 +125,26 @@ func Shards(workers, n int, fn func(shard, lo, hi int)) int {
 		return 0
 	}
 	s := shardCount(Workers(workers), n)
+	// Optional instrumentation: wrap shard bodies to meter busy time.
+	// The wrapper changes nothing about shard layout or ownership, so
+	// the reproducibility contract is untouched.
+	snk := sink.Load()
+	var start time.Time
+	var busy atomic.Int64
+	body := fn
+	if snk != nil {
+		start = time.Now()
+		body = func(shard, lo, hi int) {
+			t0 := time.Now()
+			fn(shard, lo, hi)
+			busy.Add(time.Since(t0).Nanoseconds())
+		}
+	}
 	if s <= 1 {
-		fn(0, 0, n)
+		body(0, 0, n)
+		if snk != nil {
+			snk.record(1, start, busy.Load())
+		}
 		return 1
 	}
 	// Static contiguous ranges: shard i covers [i*n/s, (i+1)*n/s).
@@ -85,10 +153,13 @@ func Shards(workers, n int, fn func(shard, lo, hi int)) int {
 	for i := 0; i < s; i++ {
 		go func(i int) {
 			defer wg.Done()
-			fn(i, i*n/s, (i+1)*n/s)
+			body(i, i*n/s, (i+1)*n/s)
 		}(i)
 	}
 	wg.Wait()
+	if snk != nil {
+		snk.record(s, start, busy.Load())
+	}
 	return s
 }
 

@@ -21,10 +21,42 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sync/atomic"
 
 	"mpctree/internal/mpc"
+	"mpctree/internal/obs"
 	"mpctree/internal/rng"
 )
+
+// resSink holds the retry driver's optional instrumentation series.
+// Observational only: counters are written on recovery decisions the
+// driver was making anyway; they never influence one.
+type resSink struct {
+	stages      *obs.Counter
+	retries     *obs.Counter
+	escalations *obs.Counter
+	backoffMs   *obs.Counter
+	exhausted   *obs.Counter
+}
+
+var sink atomic.Pointer[resSink]
+
+// Instrument exports the retry driver's meters on reg:
+//
+//	resilient_stages_total              Run invocations (stage executions)
+//	resilient_retries_total             re-executions after a failed attempt
+//	resilient_escalations_total         resource raises performed
+//	resilient_backoff_virtual_ms_total  virtual backoff charged
+//	resilient_exhausted_total           stages that ran out of budget
+func Instrument(reg *obs.Registry) {
+	sink.Store(&resSink{
+		stages:      reg.Counter("resilient_stages_total", "Pipeline stage executions under the retry driver."),
+		retries:     reg.Counter("resilient_retries_total", "Stage re-executions after a failed attempt."),
+		escalations: reg.Counter("resilient_escalations_total", "Resource escalations (cap raises / machine growth)."),
+		backoffMs:   reg.Counter("resilient_backoff_virtual_ms_total", "Virtual backoff milliseconds charged before retries."),
+		exhausted:   reg.Counter("resilient_exhausted_total", "Stages abandoned after exhausting the retry or escalation budget."),
+	})
+}
 
 // ErrExhausted is returned (wrapped around the last failure) when a stage
 // ran out of retry or escalation budget.
@@ -135,6 +167,10 @@ type Step func(attempt int) error
 // caller receives a clean (if rolled-back) cluster to degrade on.
 func Run(c *mpc.Cluster, stage string, opts Options, step Step) (Stats, error) {
 	st := Stats{Stage: stage}
+	snk := sink.Load()
+	if snk != nil {
+		snk.stages.Inc()
+	}
 	cp := c.Checkpoint()
 	budget := opts.maxRetries()
 	memFails := 0
@@ -163,11 +199,18 @@ func Run(c *mpc.Cluster, stage string, opts Options, step Step) (Stats, error) {
 
 		if attempt >= budget {
 			c.Restore(cp)
+			if snk != nil {
+				snk.exhausted.Inc()
+			}
 			return st, fmt.Errorf("%w: stage %q failed %d attempts: %w", ErrExhausted, stage, st.Attempts, err)
 		}
 
 		backoff := virtualBackoff(opts, stage, attempt)
 		st.VirtualBackoffMs += backoff
+		if snk != nil {
+			snk.retries.Inc()
+			snk.backoffMs.Add(backoff)
+		}
 		if opts.OnRetry != nil {
 			opts.OnRetry(stage, attempt, backoff, err)
 		}
@@ -175,11 +218,17 @@ func Run(c *mpc.Cluster, stage string, opts Options, step Step) (Stats, error) {
 		c.Restore(cp)
 		if memFails >= opts.escalateAfter() {
 			if st.Escalations >= opts.maxEscalations() {
+				if snk != nil {
+					snk.exhausted.Inc()
+				}
 				return st, fmt.Errorf("%w: stage %q exceeded %d escalations: %w", ErrExhausted, stage, st.Escalations, err)
 			}
 			c.RaiseCap(int(float64(c.CapWords()) * opts.capFactor()))
 			c.Grow(opts.GrowMachines)
 			st.Escalations++
+			if snk != nil {
+				snk.escalations.Inc()
+			}
 			memFails = 0
 		}
 	}

@@ -37,6 +37,7 @@ import (
 	"mpctree/internal/mpc"
 	"mpctree/internal/mpcapps"
 	"mpctree/internal/mpcembed"
+	"mpctree/internal/obs"
 	"mpctree/internal/resilient"
 	"mpctree/internal/vec"
 )
@@ -104,6 +105,21 @@ type MPCOptions struct {
 	// Pipeline.Resilient to exercise recovery; without it, the first
 	// injected fault fails the run with an mpc.ErrInjected-class error.
 	Faults *mpc.FaultPlan
+	// Obs, if non-nil, instruments the simulated cluster against this
+	// metrics registry (mpc_rounds_total, mpc_comm_words_total, peak
+	// residency, checkpoint/restore/fault series — see
+	// mpc.Cluster.Instrument) before the pipeline runs. Observational
+	// only: the output tree is bit-identical with or without it.
+	Obs *MetricsRegistry
+	// Span, if non-nil, becomes the parent of per-stage attempt spans
+	// (jl_projection, tree_embed → grid_construction / root_paths /
+	// tree_build); after the run it also carries the cluster totals as
+	// rounds / comm_words / peak_local_words metrics. Overrides
+	// Pipeline.Span when non-nil.
+	Span *Span
+	// Trace enables per-round tracing on the cluster; the rows land in
+	// MPCInfo.RoundTrace (render with FormatRoundTrace).
+	Trace bool
 }
 
 // MPCInfo reports the distributed run's accounting, including the
@@ -113,6 +129,9 @@ type MPCInfo struct {
 	Machines int
 	CapWords int
 	Metrics  mpc.Metrics
+	// RoundTrace holds the per-round communication/residency rows when
+	// MPCOptions.Trace was set (nil otherwise).
+	RoundTrace []RoundStat
 }
 
 // EmbedMPC runs the full Theorem-1 pipeline — MPC Fast Johnson–
@@ -140,6 +159,12 @@ func EmbedMPC(pts []Point, opt MPCOptions) (*Tree, *MPCInfo, error) {
 	if opt.Faults != nil {
 		cluster.InjectFaults(opt.Faults)
 	}
+	if opt.Obs != nil {
+		cluster.Instrument(opt.Obs)
+	}
+	if opt.Trace {
+		cluster.EnableTrace()
+	}
 	popt := opt.Pipeline
 	if opt.Seed != 0 {
 		popt.Seed = opt.Seed
@@ -147,8 +172,19 @@ func EmbedMPC(pts []Point, opt MPCOptions) (*Tree, *MPCInfo, error) {
 	if opt.Workers != 0 {
 		popt.Workers = opt.Workers
 	}
+	if opt.Span != nil {
+		popt.Span = opt.Span
+	}
 	tree, pinfo, err := core.EmbedPipeline(cluster, pts, popt)
-	info := &MPCInfo{PipelineInfo: pinfo, Machines: machines, CapWords: capWords, Metrics: cluster.Metrics()}
+	m := cluster.Metrics()
+	info := &MPCInfo{PipelineInfo: pinfo, Machines: machines, CapWords: capWords, Metrics: m}
+	if opt.Trace {
+		info.RoundTrace = cluster.Trace()
+	}
+	opt.Span.Add("rounds", int64(m.Rounds))
+	opt.Span.Add("comm_words", int64(m.CommWords))
+	opt.Span.Add("peak_local_words", int64(m.MaxLocalWords))
+	opt.Span.Add("total_space_words", int64(m.TotalSpace))
 	if err != nil {
 		return nil, info, err
 	}
@@ -195,12 +231,24 @@ func NewDistributedEmbedding(pts []Point, opt MPCOptions) (*DistributedEmbedding
 		capWords = mpc.FullyScalableCap(n, d, eps, 256)
 	}
 	cluster := mpc.New(mpc.Config{Machines: machines, CapWords: capWords})
+	if opt.Faults != nil {
+		cluster.InjectFaults(opt.Faults)
+	}
+	if opt.Obs != nil {
+		cluster.Instrument(opt.Obs)
+	}
+	if opt.Trace {
+		cluster.EnableTrace()
+	}
 	eo := opt.Pipeline.Embed
 	if opt.Seed != 0 {
 		eo.Seed = opt.Seed
 	}
 	if opt.Workers != 0 {
 		eo.Workers = opt.Workers
+	}
+	if opt.Span != nil {
+		eo.Span = opt.Span
 	}
 	return mpcapps.Embed(cluster, pts, eo)
 }
@@ -227,6 +275,31 @@ type FaultStats = mpc.FaultStats
 
 // RecoveryStats meters checkpoint/restore overhead and rolled-back work.
 type RecoveryStats = mpc.RecoveryStats
+
+// RoundStat is one round's communication/residency row from the per-round
+// trace (MPCOptions.Trace).
+type RoundStat = mpc.RoundStat
+
+// FormatRoundTrace renders a round trace as an aligned text table.
+func FormatRoundTrace(stats []RoundStat) string {
+	return mpc.FormatTrace(stats)
+}
+
+// MetricsRegistry is a concurrency-safe metrics registry (counters,
+// gauges, histograms) exportable in Prometheus text format, JSON, and
+// expvar; see internal/obs. Pass one via MPCOptions.Obs to meter a run.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
+
+// Span is a hierarchical phase-attribution span (wall time, allocations,
+// rounds, comm words per pipeline phase); see internal/obs. Pass one via
+// MPCOptions.Span and render it with its Render or MarshalJSON methods.
+type Span = obs.Span
+
+// NewSpan starts a root span with the given name.
+func NewSpan(name string) *Span { return obs.NewSpan(name) }
 
 // RetryOptions tunes the resilient execution driver enabled by
 // PipelineOptions.Resilient (retry budget, virtual backoff, resource
