@@ -1,24 +1,31 @@
 // Command treequery loads a tree embedding saved by `treembed -save` and
 // answers queries against it — the "store the compact representation,
-// compute later" workflow the paper motivates.
+// compute later" workflow the paper motivates. For a long-running,
+// concurrent version of the same queries, see cmd/treeserve.
 //
 //	treequery -tree t.tree -stats
 //	treequery -tree t.tree -dist 3,17
+//	treequery -tree t.tree -knn 3 -k 5
 //	treequery -tree t.tree -mst
 //	treequery -tree t.tree -medoid
 //	treequery -tree t.tree -cut 50
 //	treequery -tree t.tree -emd "0:1,5:0.5" "9:1.5"
 //	treequery -tree t.tree -compress -out small.tree
+//
+// Invoking with a tree but no operation is a usage error (exit 2): a
+// script that forgot its operation flag must not silently succeed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"mpctree/internal/hst"
+	"mpctree/internal/serve"
 )
 
 func main() {
@@ -26,17 +33,45 @@ func main() {
 		treePath = flag.String("tree", "", "tree file written by treembed -save (required)")
 		stats    = flag.Bool("stats", false, "print tree statistics")
 		distPair = flag.String("dist", "", "tree distance between two point ids, e.g. 3,17")
+		knn      = flag.Int("knn", -1, "k nearest neighbors of this point id under the tree metric")
+		k        = flag.Int("k", 5, "neighbor count for -knn")
 		mst      = flag.Bool("mst", false, "minimum spanning tree cost under the tree metric")
 		medoid   = flag.Bool("medoid", false, "1-median of the tree metric")
-		cut      = flag.Float64("cut", 0, "flat clustering at the given diameter scale")
+		cut      = flag.Float64("cut", 0, "flat clustering at the given diameter scale (must be > 0)")
 		compress = flag.Bool("compress", false, "merge unary chains (exact metric)")
 		out      = flag.String("out", "", "write the (possibly compressed) tree here")
 	)
 	flag.Parse()
+	// Distinguish "flag not given" from "given a useless value" — the old
+	// `*cut > 0` sentinel silently ignored `-cut -5` instead of rejecting
+	// it, and `-knn` needs 0 as a valid point id.
+	given := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { given[f.Name] = true })
+
 	if *treePath == "" {
 		fmt.Fprintln(os.Stderr, "treequery: -tree is required")
 		os.Exit(2)
 	}
+	if given["cut"] && (!(*cut > 0) || math.IsInf(*cut, 0)) {
+		fail(fmt.Errorf("-cut %v: scale must be positive and finite", *cut))
+	}
+	if given["knn"] && *knn < 0 {
+		fail(fmt.Errorf("-knn %d: point id must be non-negative", *knn))
+	}
+	// "No operation requested" exits 2 with usage, so scripted callers
+	// can't silently no-op. -out alone is an operation (format rewrite);
+	// the EMD positional form counts too.
+	anyOp := *stats || *distPair != "" || given["knn"] || *mst || *medoid ||
+		given["cut"] || *compress || *out != "" || flag.NArg() == 2
+	if !anyOp {
+		fmt.Fprintln(os.Stderr, "treequery: no operation requested (use -stats, -dist, -knn, -mst, -medoid, -cut, -compress, -out, or two EMD measures)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() != 0 && flag.NArg() != 2 {
+		fail(fmt.Errorf("EMD needs exactly two positional measures, got %d", flag.NArg()))
+	}
+
 	f, err := os.Open(*treePath)
 	if err != nil {
 		fail(err)
@@ -67,6 +102,17 @@ func main() {
 		}
 		fmt.Printf("dist_T(%d, %d) = %g\n", i, j, tree.Dist(i, j))
 	}
+	if given["knn"] {
+		if *knn >= tree.NumPoints() {
+			fail(fmt.Errorf("-knn %d out of range for %d points", *knn, tree.NumPoints()))
+		}
+		if *k <= 0 {
+			fail(fmt.Errorf("-k %d: neighbor count must be positive", *k))
+		}
+		for _, nb := range tree.KNN(*knn, *k) {
+			fmt.Printf("knn(%d): point %d at dist_T %g\n", *knn, nb.Point, nb.Dist)
+		}
+	}
 	if *mst {
 		fmt.Printf("tree-metric MST cost: %g (%d edges)\n", tree.MSTCost(), tree.NumPoints()-1)
 	}
@@ -74,7 +120,7 @@ func main() {
 		p, total := tree.MedoidLeaf()
 		fmt.Printf("tree 1-median: point %d (total distance %g)\n", p, total)
 	}
-	if *cut > 0 {
+	if given["cut"] {
 		labels := tree.CutAtScale(*cut)
 		k := 0
 		for _, l := range labels {
@@ -90,12 +136,14 @@ func main() {
 		fmt.Printf("cluster sizes: %v\n", sizes)
 	}
 	// Positional args: EMD between two sparse measures "idx:mass,idx:mass".
+	// serve.ParseMeasure is the hardened parser shared with the /v1/emd
+	// endpoint — it rejects NaN/Inf and negative masses.
 	if flag.NArg() == 2 {
-		mu, err := parseMeasure(flag.Arg(0), tree.NumPoints())
+		mu, err := serve.ParseMeasure(flag.Arg(0), tree.NumPoints())
 		if err != nil {
 			fail(err)
 		}
-		nu, err := parseMeasure(flag.Arg(1), tree.NumPoints())
+		nu, err := serve.ParseMeasure(flag.Arg(1), tree.NumPoints())
 		if err != nil {
 			fail(err)
 		}
@@ -115,40 +163,6 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
-}
-
-// parseMeasure reads "idx:mass,idx:mass,..." into a dense measure,
-// normalised to total mass 1.
-func parseMeasure(s string, n int) ([]float64, error) {
-	m := make([]float64, n)
-	var total float64
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		kv := strings.SplitN(part, ":", 2)
-		idx, err := strconv.Atoi(strings.TrimSpace(kv[0]))
-		if err != nil || idx < 0 || idx >= n {
-			return nil, fmt.Errorf("bad measure entry %q", part)
-		}
-		mass := 1.0
-		if len(kv) == 2 {
-			mass, err = strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
-			if err != nil || mass < 0 {
-				return nil, fmt.Errorf("bad mass in %q", part)
-			}
-		}
-		m[idx] += mass
-		total += mass
-	}
-	if total == 0 {
-		return nil, fmt.Errorf("measure %q has no mass", s)
-	}
-	for i := range m {
-		m[i] /= total
-	}
-	return m, nil
 }
 
 func fail(err error) {

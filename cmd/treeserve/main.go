@@ -1,0 +1,176 @@
+// Command treeserve serves tree-metric queries over saved embeddings —
+// the long-running counterpart of treequery. It loads one or more trees
+// written by `treembed -save`, answers concurrent batched queries over
+// HTTP/JSON, hot-reloads trees without dropping in-flight requests, and
+// exposes the full observability surface (/metrics, /metrics.json,
+// /debug/vars, /debug/pprof) on the same listener.
+//
+//	treeserve -tree demo=t.tree -addr :8080
+//	treeserve -tree a=a.tree -tree b=b.tree -deadline 5s -workers 4
+//	treeserve -tree demo=t.tree -selftest -clients 8 -queries 20000
+//
+// API (JSON bodies; see docs/SERVING.md):
+//
+//	POST /v1/dist          {"tree":"demo","pairs":[[0,1],[2,3]]}
+//	POST /v1/knn           {"tree":"demo","point":4,"k":3}
+//	POST /v1/cut           {"tree":"demo","scale":50}
+//	POST /v1/emd           {"tree":"demo","mu":"0:1,5:0.5","nu":"9:1.5"}
+//	POST /v1/medoid        {"tree":"demo"}
+//	GET  /v1/trees
+//	POST /v1/trees/reload  {"tree":"demo"}
+//
+// On SIGINT/SIGTERM the server drains gracefully: the listener closes,
+// in-flight requests run to completion (up to -drain), then the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mpctree/internal/hst"
+	"mpctree/internal/obs"
+	"mpctree/internal/par"
+	"mpctree/internal/serve"
+)
+
+// treeFlags collects repeated -tree name=path arguments.
+type treeFlags []string
+
+func (t *treeFlags) String() string { return strings.Join(*t, ",") }
+func (t *treeFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	var trees treeFlags
+	flag.Var(&trees, "tree", "name=path of a tree written by treembed -save (repeatable, required)")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		workers  = flag.Int("workers", 0, "data-parallel workers per batch request (0 = GOMAXPROCS)")
+		deadline = flag.Duration("deadline", 30*time.Second, "per-request wall budget (answers 503 when exceeded)")
+		maxBody  = flag.Int64("max-body", 8<<20, "maximum request body bytes")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests on SIGINT/SIGTERM")
+
+		selftest = flag.Bool("selftest", false, "serve on a loopback port, drive the load generator against it (with hot reloads), print the report, and exit non-zero on any error")
+		clients  = flag.Int("clients", 8, "concurrent load-generator clients (with -selftest)")
+		queries  = flag.Int("queries", 20000, "total load-generator queries (with -selftest)")
+		batch    = flag.Int("batch", 16, "dist pairs per load-generator request (with -selftest)")
+		seed     = flag.Uint64("seed", 1, "load-generator stream seed (with -selftest)")
+	)
+	flag.Parse()
+
+	if len(trees) == 0 {
+		fmt.Fprintln(os.Stderr, "treeserve: at least one -tree name=path is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reg := obs.New()
+	par.Instrument(reg)
+	registry := serve.NewRegistry(reg)
+	var firstName string
+	var firstPoints int
+	for _, spec := range trees {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			fail(fmt.Errorf("bad -tree %q (want name=path)", spec))
+		}
+		if err := registry.Load(name, path); err != nil {
+			fail(err)
+		}
+		t, _ := registry.Get(name)
+		fmt.Printf("loaded %q from %s: %d points, %d nodes, height %d\n",
+			name, path, t.NumPoints(), t.NumNodes(), t.Height())
+		if firstName == "" {
+			firstName, firstPoints = name, t.NumPoints()
+		}
+	}
+
+	server := serve.NewServer(registry, serve.Options{
+		Workers:      *workers,
+		Deadline:     *deadline,
+		MaxBodyBytes: *maxBody,
+		Obs:          reg,
+	})
+	mux := http.NewServeMux()
+	server.RegisterMux(mux)
+	obs.RegisterDebug(mux, reg, func() *obs.Span { return nil })
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "treeserve\n\nPOST /v1/dist /v1/knn /v1/cut /v1/emd /v1/medoid /v1/trees/reload\nGET  /v1/trees\nGET  /metrics /metrics.json /debug/vars /debug/pprof/\n")
+	})
+
+	listenAddr := *addr
+	if *selftest {
+		listenAddr = "127.0.0.1:0" // never expose a selftest run
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fail(err)
+		}
+	}()
+	fmt.Printf("serving on http://%s (%d trees)\n", ln.Addr(), len(trees))
+
+	if *selftest {
+		report := serve.RunLoad("http://"+ln.Addr().String(), firstName, firstPoints, serve.LoadOptions{
+			Clients:     *clients,
+			Queries:     *queries,
+			Batch:       *batch,
+			Seed:        *seed,
+			ReloadEvery: 100, // sustained hot reloads under load
+			Verify:      mustGet(registry, firstName),
+		})
+		fmt.Println("selftest:", report)
+		_ = httpSrv.Shutdown(context.Background())
+		if report.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "treeserve: selftest FAILED: %d errors (first: %s)\n", report.Errors, report.FirstErr)
+			os.Exit(1)
+		}
+		fmt.Println("selftest PASSED: zero errors, all dist answers bit-identical to serial")
+		return
+	}
+
+	// Graceful drain: stop accepting, let in-flight requests finish.
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	sig := <-ch
+	fmt.Printf("received %v, draining (budget %v)\n", sig, *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "treeserve: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("drained cleanly")
+}
+
+func mustGet(r *serve.Registry, name string) *hst.Tree {
+	t, err := r.Get(name)
+	if err != nil {
+		fail(err)
+	}
+	return t
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "treeserve:", err)
+	os.Exit(1)
+}

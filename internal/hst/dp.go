@@ -7,6 +7,8 @@
 // weighted subtree medians) show the pattern.
 package hst
 
+import "math"
+
 // FoldUp runs a bottom-up dynamic program: leafVal seeds each leaf,
 // combine merges a node's accumulated value with one child's value. The
 // traversal order is arena order reversed, which is a valid post-order
@@ -61,7 +63,15 @@ func (t *Tree) HeaviestClusterAtScale(maxDiam float64) (node, count int) {
 // all have subtree-diameter bound ≤ maxDiam, returning a cluster label
 // per data point. This is the "flat clustering at a scale" read of a
 // hierarchical embedding: labels are contiguous ints from 0.
+//
+// Non-positive and NaN scales are normalised to 0, which admits only
+// zero-diameter frontiers — every point becomes its own singleton
+// cluster. Callers that consider a non-positive scale a user error
+// (cmd/treequery, the /v1/cut endpoint) must validate before calling.
 func (t *Tree) CutAtScale(maxDiam float64) []int {
+	if maxDiam < 0 || math.IsNaN(maxDiam) {
+		maxDiam = 0
+	}
 	bounds := t.SubtreeLeafDiameterBound()
 	labels := make([]int, t.NumPoints())
 	next := 0

@@ -30,7 +30,14 @@ type Node struct {
 }
 
 // Tree is a weighted rooted tree over n data points. Build one with
-// Builder; a finished Tree is immutable and safe for concurrent reads.
+// Builder (or ReadTree); once finished, every query method (Dist, KNN,
+// MST, EMD, CutAtScale, MedoidLeaf, …) only reads the arrays, so a Tree
+// is safe for any number of concurrent readers — the serving layer
+// (internal/serve) relies on this, answering queries from many
+// goroutines against one *Tree and hot-swapping trees by replacing the
+// pointer, never by mutating a published Tree. The only mutators are
+// Compress (returns a new Tree; the receiver is untouched) and
+// ScaleWeights, which must happen-before the Tree is shared.
 type Tree struct {
 	Nodes []Node
 	Leaf  []int // Leaf[i] = arena index of point i's leaf

@@ -1,0 +1,120 @@
+// K-nearest-neighbor queries under the tree metric — the read-path
+// primitive the serving layer's /v1/knn endpoint exposes. A tree has
+// unique paths, so a best-first (uniform-cost) traversal outward from the
+// query point's leaf pops every node at its exact tree distance; leaves
+// are collected until the k-th distance is sealed. No precomputation
+// beyond what Builder.Finish already derives (root-path weights) is
+// needed, and the traversal only reads the immutable arrays, so it is
+// safe for any number of concurrent callers.
+package hst
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Neighbor is one result of a k-nearest-neighbor query.
+type Neighbor struct {
+	Point int     `json:"point"`
+	Dist  float64 `json:"dist"`
+}
+
+// visit is one frontier entry of the best-first traversal.
+type visit struct {
+	dist float64
+	node int
+}
+
+// visitHeap orders the frontier by (distance, arena index); the index
+// tie-break makes the pop order — and therefore which equal-distance
+// nodes are explored first — deterministic.
+type visitHeap []visit
+
+func (h visitHeap) Len() int { return len(h) }
+func (h visitHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].node < h[j].node
+}
+func (h visitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *visitHeap) Push(x any)   { *h = append(*h, x.(visit)) }
+func (h *visitHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// KNN returns the k data points nearest to point p under the tree metric,
+// excluding p itself, ordered by (distance, point index). Ties at the
+// k-th distance are broken by point index, so the result is a pure
+// function of the tree and the arguments. k larger than the number of
+// other points returns all of them; k ≤ 0 returns nil. It panics if p is
+// out of range (mirroring Dist); HTTP callers validate first.
+//
+// The traversal expands the unique tree paths outward from p's leaf
+// through parent and child edges, visiting every node whose distance is
+// at most the k-th nearest leaf distance — O((k + h + m) log n) for
+// answer set k, height h, and m nodes inside the final radius.
+func (t *Tree) KNN(p, k int) []Neighbor {
+	if p < 0 || p >= t.NumPoints() {
+		panic(fmt.Sprintf("hst: KNN point %d out of range [0,%d)", p, t.NumPoints()))
+	}
+	if k <= 0 {
+		return nil
+	}
+	if max := t.NumPoints() - 1; k > max {
+		k = max
+	}
+	if k == 0 {
+		return nil
+	}
+	src := t.Leaf[p]
+	dist := make(map[int]float64, 64)
+	frontier := &visitHeap{{dist: 0, node: src}}
+	dist[src] = 0
+
+	// Collect every leaf with distance ≤ the current k-th best; the
+	// frontier pops in non-decreasing distance, so once the popped
+	// distance exceeds that bound the answer set is sealed.
+	var found []Neighbor
+	kth := func() float64 { return found[k-1].Dist }
+	push := func(node int, d float64) {
+		if old, seen := dist[node]; seen && old <= d {
+			return
+		}
+		dist[node] = d
+		heap.Push(frontier, visit{dist: d, node: node})
+	}
+	for frontier.Len() > 0 {
+		v := heap.Pop(frontier).(visit)
+		if v.dist > dist[v.node] {
+			continue // stale entry
+		}
+		if len(found) >= k && v.dist > kth() {
+			break
+		}
+		nd := &t.Nodes[v.node]
+		if nd.Point >= 0 && nd.Point != p {
+			found = append(found, Neighbor{Point: nd.Point, Dist: v.dist})
+			// Keep found sorted enough for kth(): pops arrive in
+			// non-decreasing distance, so append order IS sorted by dist.
+		}
+		if nd.Parent >= 0 {
+			push(nd.Parent, v.dist+nd.Weight)
+		}
+		for _, c := range nd.Children {
+			push(c, v.dist+t.Nodes[c].Weight)
+		}
+	}
+	// found is sorted by distance with pop-order (arena index) tie-breaks;
+	// re-sort equal distances by point index and cut at k, keeping every
+	// point strictly closer than the k-th and the smallest-indexed ties.
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].Dist != found[j].Dist {
+			return found[i].Dist < found[j].Dist
+		}
+		return found[i].Point < found[j].Point
+	})
+	if len(found) > k {
+		found = found[:k]
+	}
+	return found
+}

@@ -1,0 +1,177 @@
+package hst
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+// rawTree hand-assembles the binary format so tests can lie in every
+// field: magic, node/leaf counts, then (parent, weight, level|point)
+// triples.
+type rawTree struct {
+	nNodes, nLeaves uint64
+	nodes           [][3]uint64 // parent, weight bits, packed level|point
+}
+
+func rawNodeEntry(parent int, weight float64, level, point int) [3]uint64 {
+	return [3]uint64{
+		uint64(int64(parent)),
+		math.Float64bits(weight),
+		uint64(int64(level))<<32 | uint64(uint32(int32(point))),
+	}
+}
+
+func (r rawTree) bytes() []byte {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	put := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf.Write(b[:])
+	}
+	put(r.nNodes)
+	put(r.nLeaves)
+	for _, n := range r.nodes {
+		put(n[0])
+		put(n[1])
+		put(n[2])
+	}
+	return buf.Bytes()
+}
+
+// validRaw is a well-formed two-leaf tree the corruption cases perturb:
+// root, one internal node, leaves for points 0 and 1.
+func validRaw() rawTree {
+	return rawTree{
+		nNodes:  4,
+		nLeaves: 2,
+		nodes: [][3]uint64{
+			rawNodeEntry(-1, 0, 0, -1),
+			rawNodeEntry(0, 4, 1, -1),
+			rawNodeEntry(1, 2, 2, 0),
+			rawNodeEntry(1, 2, 2, 1),
+		},
+	}
+}
+
+// mustReject asserts ReadTree returns an error (and in particular does
+// not panic — the deferred recover converts a panic into a test failure
+// with the case name).
+func mustReject(t *testing.T, name string, data []byte) {
+	t.Helper()
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("%s: ReadTree panicked: %v", name, p)
+		}
+	}()
+	tree, err := ReadTree(bytes.NewReader(data))
+	if err == nil {
+		t.Errorf("%s: corrupt stream accepted (tree with %d nodes)", name, tree.NumNodes())
+	}
+}
+
+func TestReadTreeValidBaseline(t *testing.T) {
+	tree, err := ReadTree(bytes.NewReader(validRaw().bytes()))
+	if err != nil {
+		t.Fatalf("baseline stream rejected: %v", err)
+	}
+	if tree.NumPoints() != 2 || tree.NumNodes() != 4 {
+		t.Fatalf("baseline shape wrong: %d points, %d nodes", tree.NumPoints(), tree.NumNodes())
+	}
+}
+
+func TestReadTreeTruncatedHeader(t *testing.T) {
+	full := validRaw().bytes()
+	// Every prefix that ends inside the header (magic + two counts) must
+	// error cleanly.
+	for cut := 0; cut < 24; cut++ {
+		mustReject(t, "header prefix", full[:cut])
+	}
+	// And a few prefixes inside the node section.
+	for _, cut := range []int{25, 40, 48, 71, len(full) - 1} {
+		mustReject(t, "body prefix", full[:cut])
+	}
+}
+
+// A header that claims vastly more nodes than the stream carries must
+// fail with a truncation error after reading only what exists — not
+// allocate node-count-driven memory up front. Allocating 8<<30 raw nodes
+// here would OOM the test process; finishing in bounded memory is the
+// assertion.
+func TestReadTreeNodeCountMismatch(t *testing.T) {
+	r := validRaw()
+	r.nNodes = 8 << 30 // ~8G nodes claimed, 4 present
+	mustReject(t, "inflated node count", r.bytes())
+
+	r = validRaw()
+	r.nNodes = 5 // one more than present
+	mustReject(t, "off-by-one node count", r.bytes())
+
+	r = validRaw()
+	r.nNodes = 0
+	mustReject(t, "zero node count", r.bytes())
+}
+
+func TestReadTreeLeafCountMismatch(t *testing.T) {
+	r := validRaw()
+	r.nLeaves = 1 // stream has leaves for points 0 and 1
+	mustReject(t, "understated leaf count", r.bytes())
+
+	r = validRaw()
+	r.nLeaves = 5 // more leaves than nodes
+	mustReject(t, "leaves exceed nodes", r.bytes())
+
+	r = validRaw()
+	r.nLeaves = 3 // plausible (≤ nNodes) but the stream has only 2
+	mustReject(t, "missing leaf", r.bytes())
+}
+
+func TestReadTreeOutOfRangeParent(t *testing.T) {
+	r := validRaw()
+	r.nodes[2] = rawNodeEntry(3, 2, 2, 0) // forward reference
+	mustReject(t, "forward parent", r.bytes())
+
+	r = validRaw()
+	r.nodes[2] = rawNodeEntry(-2, 2, 2, 0) // negative parent on non-root
+	mustReject(t, "negative parent", r.bytes())
+
+	r = validRaw()
+	r.nodes[2] = rawNodeEntry(1<<40, 2, 2, 0) // far out of range
+	mustReject(t, "huge parent", r.bytes())
+
+	r = validRaw()
+	r.nodes[0] = rawNodeEntry(0, 0, 0, -1) // node 0 must be a root
+	mustReject(t, "non-root node 0", r.bytes())
+}
+
+func TestReadTreeOutOfRangeLeafID(t *testing.T) {
+	r := validRaw()
+	r.nodes[3] = rawNodeEntry(1, 2, 2, 2) // point 2 with nLeaves=2
+	mustReject(t, "point id at nLeaves", r.bytes())
+
+	r = validRaw()
+	r.nodes[3] = rawNodeEntry(1, 2, 2, 1<<30) // absurd point id
+	mustReject(t, "huge point id", r.bytes())
+
+	r = validRaw()
+	r.nodes[3] = rawNodeEntry(1, 2, 2, 0) // duplicate of node 2's point
+	mustReject(t, "duplicate point", r.bytes())
+}
+
+func TestReadTreeNonFiniteWeight(t *testing.T) {
+	for _, w := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1} {
+		r := validRaw()
+		r.nodes[1] = rawNodeEntry(0, w, 1, -1)
+		mustReject(t, "bad weight", r.bytes())
+	}
+}
+
+func TestReadTreeBadMagic(t *testing.T) {
+	data := validRaw().bytes()
+	data[0] ^= 0xFF
+	mustReject(t, "flipped magic", data)
+	mustReject(t, "text junk", []byte(strings.Repeat("treeserve feeds me untrusted bytes ", 8)))
+}

@@ -35,19 +35,14 @@ type Server struct {
 	root *Span
 }
 
-// Serve starts the debug server on addr (host:port; ":0" picks a free
-// port) exporting reg and, when non-nil, the span tree rooted at root.
-// The registry is also published to expvar under "mpctree_metrics".
-func Serve(addr string, reg *Registry, root *Span) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
-	}
+// RegisterDebug mounts the standard debug endpoints — /metrics,
+// /metrics.json, /trace, /debug/vars, /debug/pprof/* — on an existing
+// mux, so servers with their own routes (cmd/treeserve) expose the same
+// observability surface Serve does without a second listener. root is
+// called per /trace request and may return nil (renders "(no spans)").
+// The registry is published to expvar under "mpctree_metrics".
+func RegisterDebug(mux *http.ServeMux, reg *Registry, root func() *Span) {
 	reg.PublishExpvar("mpctree_metrics")
-
-	s := &Server{addr: ln.Addr().String(), listener: ln, root: root}
-
-	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
@@ -57,7 +52,7 @@ func Serve(addr string, reg *Registry, root *Span) (*Server, error) {
 		_ = reg.WriteJSON(w)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
-		root := s.Root()
+		root := root()
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
 			data, err := root.MarshalJSON()
@@ -77,6 +72,20 @@ func Serve(addr string, reg *Registry, root *Span) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Serve starts the debug server on addr (host:port; ":0" picks a free
+// port) exporting reg and, when non-nil, the span tree rooted at root.
+// The registry is also published to expvar under "mpctree_metrics".
+func Serve(addr string, reg *Registry, root *Span) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{addr: ln.Addr().String(), listener: ln, root: root}
+
+	mux := http.NewServeMux()
+	RegisterDebug(mux, reg, s.Root)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)

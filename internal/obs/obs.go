@@ -167,6 +167,19 @@ func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.m.fval.Store(math.Float64bits(v)) }
 
+// Add shifts the gauge by delta, which may be negative — the idiom for
+// in-flight meters (Add(1) on entry, Add(-1) on exit). CAS-accumulated,
+// so concurrent adders never lose updates.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.m.fval.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.m.fval.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
 // SetMax raises the gauge to v if v exceeds the current value — the idiom
 // for peak meters (peak residency, peak total space) under concurrency.
 func (g *Gauge) SetMax(v float64) {

@@ -1,0 +1,65 @@
+// Package serve is the concurrent query-serving layer over saved tree
+// embeddings: a registry of named trees with atomic hot-reload, an
+// HTTP/JSON API for the tree-metric queries (batch distances, k-nearest
+// neighbors, scale cuts, Earth-Mover distance, medoids), request
+// batching fanned out through internal/par, and full wiring into the
+// internal/obs metrics registry. This is the paper's "pay once for the
+// MPC embedding, answer metric queries cheaply from the compact tree"
+// workflow turned into a long-running service; cmd/treeserve is the
+// binary.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseMeasure reads a sparse measure "idx:mass,idx:mass,..." over n
+// points into a dense vector normalised to total mass 1. A bare "idx"
+// means mass 1. It rejects out-of-range indices, negative masses, and —
+// because strconv.ParseFloat happily accepts "NaN" and "Inf" — any
+// non-finite mass, which would otherwise propagate silently into a
+// NaN/Inf EMD. Both cmd/treequery and the /v1/emd endpoint parse
+// through here, so the two front doors agree on what a measure is.
+func ParseMeasure(s string, n int) ([]float64, error) {
+	m := make([]float64, n)
+	var total float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, ":", 2)
+		idx, err := strconv.Atoi(strings.TrimSpace(kv[0]))
+		if err != nil || idx < 0 || idx >= n {
+			return nil, fmt.Errorf("bad measure entry %q (want idx in [0,%d))", part, n)
+		}
+		mass := 1.0
+		if len(kv) == 2 {
+			mass, err = strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad mass in %q", part)
+			}
+			if math.IsNaN(mass) || math.IsInf(mass, 0) {
+				return nil, fmt.Errorf("non-finite mass in %q", part)
+			}
+			if mass < 0 {
+				return nil, fmt.Errorf("negative mass in %q", part)
+			}
+		}
+		m[idx] += mass
+		total += mass
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("measure %q has no mass", s)
+	}
+	if math.IsInf(total, 0) {
+		return nil, fmt.Errorf("measure %q has infinite total mass", s)
+	}
+	for i := range m {
+		m[i] /= total
+	}
+	return m, nil
+}

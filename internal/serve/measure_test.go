@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseMeasureGood(t *testing.T) {
+	m, err := ParseMeasure("0:1,5:0.5, 9 : 1.5 ", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 10 {
+		t.Fatalf("len = %d", len(m))
+	}
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("not normalised: total %v", total)
+	}
+	if math.Abs(m[0]-1.0/3) > 1e-12 || math.Abs(m[5]-0.5/3) > 1e-12 || math.Abs(m[9]-1.5/3) > 1e-12 {
+		t.Errorf("masses wrong: %v", m)
+	}
+	// Bare indices mean mass 1; repeats accumulate.
+	m, err = ParseMeasure("3,3,7", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m[3]-2.0/3) > 1e-12 || math.Abs(m[7]-1.0/3) > 1e-12 {
+		t.Errorf("bare-index masses wrong: %v", m)
+	}
+}
+
+// The regression the serving layer inherited from treequery: ParseFloat
+// accepts "NaN" and "Inf", and `mass < 0` is false for NaN, so
+// non-finite masses sailed through and produced NaN/Inf EMDs.
+func TestParseMeasureRejectsNonFinite(t *testing.T) {
+	for _, s := range []string{
+		"0:NaN", "0:nan", "1:Inf", "1:+Inf", "1:-Inf", "2:inf",
+		"0:1,3:NaN", "0:NaN,3:1",
+	} {
+		if _, err := ParseMeasure(s, 10); err == nil {
+			t.Errorf("ParseMeasure(%q) accepted a non-finite mass", s)
+		}
+	}
+}
+
+func TestParseMeasureRejectsBadInput(t *testing.T) {
+	for _, s := range []string{
+		"",                        // no mass at all
+		" , , ",                   // only separators
+		"0:-1",                    // negative mass
+		"0:0",                     // zero total
+		"-1:1",                    // negative index
+		"10:1",                    // index == n
+		"abc:1",                   // non-numeric index
+		"0:xyz",                   // non-numeric mass
+		"0:1e999",                 // overflows to +Inf in ParseFloat
+		"0:1,5:-0.5",              // negative among positives
+		"0:1e308,1:1e308,2:1e308", // finite masses, infinite total
+	} {
+		if _, err := ParseMeasure(s, 10); err == nil {
+			t.Errorf("ParseMeasure(%q) accepted bad input", s)
+		}
+	}
+}

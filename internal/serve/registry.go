@@ -1,0 +1,187 @@
+// The tree registry: named, hot-reloadable tree embeddings. Reload
+// safety rests on two facts — a finished hst.Tree is never mutated
+// (see the Tree doc), and the registry swaps an atomic.Pointer — so a
+// request that resolved its *hst.Tree before a reload keeps answering
+// from the old tree while new requests see the new one. No locks are
+// held while queries run, and no in-flight query is ever dropped or
+// torn by a swap.
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mpctree/internal/hst"
+	"mpctree/internal/obs"
+)
+
+// entry is one named tree: the served pointer plus the file it reloads
+// from.
+type entry struct {
+	name       string
+	path       string
+	tree       atomic.Pointer[hst.Tree]
+	generation atomic.Int64 // successful loads, starting at 1
+}
+
+// TreeInfo describes one registry entry for /v1/trees and logs.
+type TreeInfo struct {
+	Name       string `json:"name"`
+	Path       string `json:"path"`
+	Points     int    `json:"points"`
+	Nodes      int    `json:"nodes"`
+	Height     int    `json:"height"`
+	Generation int64  `json:"generation"`
+}
+
+// Registry holds the named trees a server answers from. The mutex only
+// guards the name table; tree access is a single atomic pointer load.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+
+	reg        *obs.Registry // nil = uninstrumented
+	treesGauge *obs.Gauge
+	reloads    *obs.Counter
+	loadErrors *obs.Counter
+}
+
+// NewRegistry returns an empty registry. reg may be nil; when set, the
+// registry exports serve_trees_loaded, serve_tree_reloads_total,
+// serve_tree_load_errors_total, and per-tree serve_tree_points /
+// serve_tree_nodes / serve_tree_generation gauges.
+func NewRegistry(reg *obs.Registry) *Registry {
+	r := &Registry{entries: make(map[string]*entry), reg: reg}
+	if reg != nil {
+		r.treesGauge = reg.Gauge("serve_trees_loaded", "Trees currently loaded in the serving registry.")
+		r.reloads = reg.Counter("serve_tree_reloads_total", "Successful tree loads and hot reloads.")
+		r.loadErrors = reg.Counter("serve_tree_load_errors_total", "Tree load or reload attempts that failed (the previous tree keeps serving).")
+	}
+	return r
+}
+
+// readTreeFile loads and validates one tree file.
+func readTreeFile(path string) (*hst.Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := hst.ReadTree(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// observe updates the per-tree gauges after a successful load.
+func (r *Registry) observe(e *entry, t *hst.Tree) {
+	if r.reg == nil {
+		return
+	}
+	r.reg.Gauge("serve_tree_points", "Data points in the named tree.", "tree", e.name).Set(float64(t.NumPoints()))
+	r.reg.Gauge("serve_tree_nodes", "Arena nodes in the named tree.", "tree", e.name).Set(float64(t.NumNodes()))
+	r.reg.Gauge("serve_tree_generation", "Load generation of the named tree (increments on hot reload).", "tree", e.name).Set(float64(e.generation.Load()))
+	r.reloads.Inc()
+}
+
+// Load reads the tree file at path and registers (or replaces) it under
+// name. Replacing is an atomic hot swap: concurrent queries against the
+// old tree complete unharmed.
+func (r *Registry) Load(name, path string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty tree name")
+	}
+	t, err := readTreeFile(path)
+	if err != nil {
+		if r.loadErrors != nil {
+			r.loadErrors.Inc()
+		}
+		return err
+	}
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok {
+		e = &entry{name: name}
+		r.entries[name] = e
+		if r.treesGauge != nil {
+			r.treesGauge.Set(float64(len(r.entries)))
+		}
+	}
+	e.path = path
+	r.mu.Unlock()
+	e.tree.Store(t)
+	e.generation.Add(1)
+	r.observe(e, t)
+	return nil
+}
+
+// Reload re-reads the named tree from its registered file and swaps it
+// in atomically. On any error — unknown name, unreadable or corrupt
+// file — the currently served tree stays in place, so a bad file on
+// disk can never take a healthy tree out of service.
+func (r *Registry) Reload(name string) error {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	var path string
+	if ok {
+		path = e.path
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: unknown tree %q", name)
+	}
+	t, err := readTreeFile(path)
+	if err != nil {
+		if r.loadErrors != nil {
+			r.loadErrors.Inc()
+		}
+		return fmt.Errorf("serve: reload %q: %w (previous tree still serving)", name, err)
+	}
+	e.tree.Store(t)
+	e.generation.Add(1)
+	r.observe(e, t)
+	return nil
+}
+
+// Get resolves a named tree to the currently served snapshot. The
+// returned *hst.Tree is immutable and remains fully usable even if the
+// name is reloaded or removed afterwards.
+func (r *Registry) Get(name string) (*hst.Tree, error) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown tree %q", name)
+	}
+	t := e.tree.Load()
+	if t == nil {
+		return nil, fmt.Errorf("serve: tree %q has no loaded snapshot", name)
+	}
+	return t, nil
+}
+
+// List reports every entry, sorted by name.
+func (r *Registry) List() []TreeInfo {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	out := make([]TreeInfo, 0, len(entries))
+	for _, e := range entries {
+		info := TreeInfo{Name: e.name, Path: e.path, Generation: e.generation.Load()}
+		if t := e.tree.Load(); t != nil {
+			info.Points = t.NumPoints()
+			info.Nodes = t.NumNodes()
+			info.Height = t.Height()
+		}
+		out = append(out, info)
+	}
+	return out
+}

@@ -1,0 +1,462 @@
+// The HTTP/JSON API. Every endpoint is a POST (except the GET tree
+// listing) taking a small JSON document naming a tree; batch-shaped
+// requests (dist pairs, knn points) fan out through internal/par, so a
+// 10k-pair batch uses every core while staying bit-identical to a
+// serial loop at any worker count (each shard writes only its own
+// output slots). Handlers run under a per-request deadline with bounded
+// request bodies, answer structured JSON errors, and meter themselves
+// onto an obs.Registry.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"mpctree/internal/hst"
+	"mpctree/internal/obs"
+	"mpctree/internal/par"
+)
+
+// Options configures a Server. The zero value serves with GOMAXPROCS
+// workers, a 30s deadline, and a 8 MiB body limit, unmetered.
+type Options struct {
+	Workers      int           // par fan-out width; 0 = GOMAXPROCS
+	Deadline     time.Duration // per-request wall budget; 0 = 30s, <0 = none
+	MaxBodyBytes int64         // request body cap; 0 = 8 MiB
+	MaxBatch     int           // max items (pairs, points) per batch request; 0 = 1<<20
+	Obs          *obs.Registry // metrics sink; nil = unmetered
+}
+
+// DefaultLatencyBuckets spans 100µs–25s in powers of ~5 — wide enough
+// for a leaf-cache-hot dist batch and a cold multi-megabyte EMD alike.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{1e-4, 5e-4, 2.5e-3, 1.25e-2, 6.25e-2, 0.3125, 1.5625, 7.8125, 25}
+}
+
+// Server answers tree-metric queries from a Registry.
+type Server struct {
+	trees    *Registry
+	workers  int
+	deadline time.Duration
+	maxBody  int64
+	maxBatch int
+
+	reg      *obs.Registry
+	inflight *obs.Gauge
+}
+
+// NewServer wraps a tree registry in the HTTP query API.
+func NewServer(trees *Registry, opts Options) *Server {
+	s := &Server{
+		trees:    trees,
+		workers:  par.Workers(opts.Workers),
+		deadline: opts.Deadline,
+		maxBody:  opts.MaxBodyBytes,
+		maxBatch: opts.MaxBatch,
+		reg:      opts.Obs,
+	}
+	if s.deadline == 0 {
+		s.deadline = 30 * time.Second
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = 8 << 20
+	}
+	if s.maxBatch <= 0 {
+		s.maxBatch = 1 << 20
+	}
+	if s.reg != nil {
+		s.inflight = s.reg.Gauge("serve_inflight_requests", "Requests currently executing.")
+	}
+	return s
+}
+
+// RegisterMux mounts the /v1 API on mux.
+func (s *Server) RegisterMux(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/dist", s.endpoint("dist", http.MethodPost, s.handleDist))
+	mux.HandleFunc("/v1/knn", s.endpoint("knn", http.MethodPost, s.handleKNN))
+	mux.HandleFunc("/v1/cut", s.endpoint("cut", http.MethodPost, s.handleCut))
+	mux.HandleFunc("/v1/emd", s.endpoint("emd", http.MethodPost, s.handleEMD))
+	mux.HandleFunc("/v1/medoid", s.endpoint("medoid", http.MethodPost, s.handleMedoid))
+	mux.HandleFunc("/v1/trees", s.endpoint("trees", "", s.handleTrees))
+	mux.HandleFunc("/v1/trees/reload", s.endpoint("reload", http.MethodPost, s.handleReload))
+}
+
+// apiError carries an HTTP status through the handler return path.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(err error) error {
+	return &apiError{status: http.StatusNotFound, msg: err.Error()}
+}
+
+// endpoint wraps a handler with the cross-cutting serving concerns:
+// method check, body limit, per-request deadline, panic containment,
+// and metering (request counter, error counter by status class, latency
+// histogram, in-flight gauge). The handler body runs in its own
+// goroutine so a blown deadline answers 503 immediately; the tree
+// snapshot the stray computation holds stays valid regardless of
+// reloads, so it finishes harmlessly and is discarded.
+func (s *Server) endpoint(name, method string, fn func(*http.Request) (any, error)) http.HandlerFunc {
+	var requests, errors4xx, errors5xx *obs.Counter
+	var latency *obs.Histogram
+	if s.reg != nil {
+		requests = s.reg.Counter("serve_requests_total", "API requests received.", "endpoint", name)
+		errors4xx = s.reg.Counter("serve_errors_total", "API requests answered with an error status.", "endpoint", name, "class", "4xx")
+		errors5xx = s.reg.Counter("serve_errors_total", "API requests answered with an error status.", "endpoint", name, "class", "5xx")
+		latency = s.reg.Histogram("serve_request_seconds", "API request latency in seconds.", DefaultLatencyBuckets(), "endpoint", name)
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if requests != nil {
+			requests.Inc()
+			s.inflight.Add(1)
+			defer s.inflight.Add(-1)
+			defer func() { latency.Observe(time.Since(start).Seconds()) }()
+		}
+		fail := func(status int, msg string) {
+			if status >= 500 {
+				if errors5xx != nil {
+					errors5xx.Inc()
+				}
+			} else if errors4xx != nil {
+				errors4xx.Inc()
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+		}
+		if method != "" && r.Method != method {
+			fail(http.StatusMethodNotAllowed, fmt.Sprintf("%s requires %s", r.URL.Path, method))
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+
+		ctx := r.Context()
+		if s.deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.deadline)
+			defer cancel()
+		}
+		type result struct {
+			v   any
+			err error
+		}
+		done := make(chan result, 1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					done <- result{err: &apiError{status: http.StatusInternalServerError,
+						msg: fmt.Sprintf("internal: %v", p)}}
+				}
+			}()
+			v, err := fn(r.WithContext(ctx))
+			done <- result{v: v, err: err}
+		}()
+		select {
+		case <-ctx.Done():
+			fail(http.StatusServiceUnavailable, fmt.Sprintf("deadline exceeded after %v", s.deadline))
+		case res := <-done:
+			if res.err != nil {
+				var ae *apiError
+				if errors.As(res.err, &ae) {
+					fail(ae.status, ae.msg)
+				} else {
+					fail(http.StatusInternalServerError, res.err.Error())
+				}
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(res.v)
+		}
+	}
+}
+
+// decode unmarshals the request body into req, translating the
+// MaxBytesReader overrun and JSON syntax errors into 4xx.
+func decode(r *http.Request, req any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return &apiError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit)}
+		}
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+// tree resolves the named tree or answers 404.
+func (s *Server) tree(name string) (*hst.Tree, error) {
+	if name == "" {
+		return nil, badRequest("missing \"tree\" field")
+	}
+	t, err := s.trees.Get(name)
+	if err != nil {
+		return nil, notFound(err)
+	}
+	return t, nil
+}
+
+// ---- /v1/dist ----
+
+// DistRequest asks for tree distances over a batch of point-id pairs.
+type DistRequest struct {
+	Tree  string   `json:"tree"`
+	Pairs [][2]int `json:"pairs"`
+}
+
+// DistResponse carries one distance per request pair, in order.
+type DistResponse struct {
+	Tree  string    `json:"tree"`
+	Dists []float64 `json:"dists"`
+}
+
+func (s *Server) handleDist(r *http.Request) (any, error) {
+	var req DistRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	t, err := s.tree(req.Tree)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Pairs) == 0 {
+		return nil, badRequest("empty \"pairs\"")
+	}
+	if len(req.Pairs) > s.maxBatch {
+		return nil, badRequest("%d pairs exceeds batch limit %d", len(req.Pairs), s.maxBatch)
+	}
+	n := t.NumPoints()
+	for i, p := range req.Pairs {
+		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+			return nil, badRequest("pair %d = [%d,%d] out of range for %d points", i, p[0], p[1], n)
+		}
+	}
+	out := make([]float64, len(req.Pairs))
+	par.For(s.workers, len(req.Pairs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = t.Dist(req.Pairs[i][0], req.Pairs[i][1])
+		}
+	})
+	return DistResponse{Tree: req.Tree, Dists: out}, nil
+}
+
+// ---- /v1/knn ----
+
+// KNNRequest asks for the K nearest neighbors (under the tree metric,
+// excluding the query point itself) of each query point. "point" is
+// shorthand for a single-element "points".
+type KNNRequest struct {
+	Tree   string `json:"tree"`
+	Point  *int   `json:"point,omitempty"`
+	Points []int  `json:"points,omitempty"`
+	K      int    `json:"k"`
+}
+
+// KNNResponse carries one neighbor list per query point, in order.
+type KNNResponse struct {
+	Tree      string           `json:"tree"`
+	Neighbors [][]hst.Neighbor `json:"neighbors"`
+}
+
+func (s *Server) handleKNN(r *http.Request) (any, error) {
+	var req KNNRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	t, err := s.tree(req.Tree)
+	if err != nil {
+		return nil, err
+	}
+	points := req.Points
+	if req.Point != nil {
+		points = append([]int{*req.Point}, points...)
+	}
+	if len(points) == 0 {
+		return nil, badRequest("missing \"point\" or \"points\"")
+	}
+	if len(points) > s.maxBatch {
+		return nil, badRequest("%d points exceeds batch limit %d", len(points), s.maxBatch)
+	}
+	if req.K <= 0 {
+		return nil, badRequest("\"k\" must be positive, got %d", req.K)
+	}
+	n := t.NumPoints()
+	for i, p := range points {
+		if p < 0 || p >= n {
+			return nil, badRequest("point %d = %d out of range for %d points", i, p, n)
+		}
+	}
+	out := make([][]hst.Neighbor, len(points))
+	par.For(s.workers, len(points), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = t.KNN(points[i], req.K)
+		}
+	})
+	return KNNResponse{Tree: req.Tree, Neighbors: out}, nil
+}
+
+// ---- /v1/cut ----
+
+// CutRequest asks for the flat clustering at a diameter scale.
+type CutRequest struct {
+	Tree  string  `json:"tree"`
+	Scale float64 `json:"scale"`
+}
+
+// CutResponse reports the clustering: per-point labels plus sizes.
+type CutResponse struct {
+	Tree     string  `json:"tree"`
+	Scale    float64 `json:"scale"`
+	Clusters int     `json:"clusters"`
+	Labels   []int   `json:"labels"`
+	Sizes    []int   `json:"sizes"`
+}
+
+func (s *Server) handleCut(r *http.Request) (any, error) {
+	var req CutRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	t, err := s.tree(req.Tree)
+	if err != nil {
+		return nil, err
+	}
+	if !(req.Scale > 0) || math.IsInf(req.Scale, 0) {
+		return nil, badRequest("\"scale\" must be positive and finite, got %v", req.Scale)
+	}
+	labels := t.CutAtScale(req.Scale)
+	k := 0
+	for _, l := range labels {
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+	sizes := make([]int, k)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	return CutResponse{Tree: req.Tree, Scale: req.Scale, Clusters: k, Labels: labels, Sizes: sizes}, nil
+}
+
+// ---- /v1/emd ----
+
+// EMDRequest asks for the Earth-Mover distance between two sparse
+// measures in the "idx:mass,idx:mass" syntax treequery uses. Measures
+// are normalised to total mass 1 before the flow is computed.
+type EMDRequest struct {
+	Tree string `json:"tree"`
+	Mu   string `json:"mu"`
+	Nu   string `json:"nu"`
+}
+
+// EMDResponse carries the tree-metric Earth-Mover distance.
+type EMDResponse struct {
+	Tree string  `json:"tree"`
+	EMD  float64 `json:"emd"`
+}
+
+func (s *Server) handleEMD(r *http.Request) (any, error) {
+	var req EMDRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	t, err := s.tree(req.Tree)
+	if err != nil {
+		return nil, err
+	}
+	mu, err := ParseMeasure(req.Mu, t.NumPoints())
+	if err != nil {
+		return nil, badRequest("mu: %v", err)
+	}
+	nu, err := ParseMeasure(req.Nu, t.NumPoints())
+	if err != nil {
+		return nil, badRequest("nu: %v", err)
+	}
+	return EMDResponse{Tree: req.Tree, EMD: t.EMD(mu, nu)}, nil
+}
+
+// ---- /v1/medoid ----
+
+// MedoidRequest asks for the 1-median of the tree metric.
+type MedoidRequest struct {
+	Tree string `json:"tree"`
+}
+
+// MedoidResponse reports the medoid point and its total distance.
+type MedoidResponse struct {
+	Tree      string  `json:"tree"`
+	Point     int     `json:"point"`
+	TotalDist float64 `json:"total_dist"`
+}
+
+func (s *Server) handleMedoid(r *http.Request) (any, error) {
+	var req MedoidRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	t, err := s.tree(req.Tree)
+	if err != nil {
+		return nil, err
+	}
+	p, total := t.MedoidLeaf()
+	return MedoidResponse{Tree: req.Tree, Point: p, TotalDist: total}, nil
+}
+
+// ---- /v1/trees and /v1/trees/reload ----
+
+// TreesResponse lists the registry.
+type TreesResponse struct {
+	Trees []TreeInfo `json:"trees"`
+}
+
+func (s *Server) handleTrees(r *http.Request) (any, error) {
+	if r.Method != http.MethodGet {
+		return nil, &apiError{status: http.StatusMethodNotAllowed, msg: "/v1/trees is GET; reload via POST /v1/trees/reload"}
+	}
+	return TreesResponse{Trees: s.trees.List()}, nil
+}
+
+// ReloadRequest names the tree to hot-reload from its registered file.
+type ReloadRequest struct {
+	Tree string `json:"tree"`
+}
+
+// ReloadResponse reports the post-reload state of the tree.
+type ReloadResponse struct {
+	Tree TreeInfo `json:"tree"`
+}
+
+func (s *Server) handleReload(r *http.Request) (any, error) {
+	var req ReloadRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Tree == "" {
+		return nil, badRequest("missing \"tree\" field")
+	}
+	if err := s.trees.Reload(req.Tree); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	for _, info := range s.trees.List() {
+		if info.Name == req.Tree {
+			return ReloadResponse{Tree: info}, nil
+		}
+	}
+	return nil, fmt.Errorf("tree %q vanished after reload", req.Tree)
+}
