@@ -4,9 +4,13 @@
 // and fails if any benchmark regressed by more than -threshold against the
 // committed baseline.
 //
-//	go run ./cmd/benchdiff                  # full run, compare + rewrite BENCH_PR2.json
+//	go run ./cmd/benchdiff                  # auto-discovers the newest BENCH_*.json baseline
 //	go run ./cmd/benchdiff -quick           # one iteration per benchmark (CI smoke)
-//	go run ./cmd/benchdiff -out new.json -baseline BENCH_PR2.json
+//	go run ./cmd/benchdiff -out BENCH_PR5.json -baseline BENCH_PR2.json
+//
+// When -baseline is omitted the most recent committed baseline is
+// auto-discovered: the highest-numbered BENCH_PR<k>.json in the current
+// directory, falling back to the lexicographically last BENCH_*.json.
 //
 // The report records GOMAXPROCS and the CPU count: on a single-core
 // machine the workers=8 variants measure the worker pool's overhead, not
@@ -21,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
@@ -36,7 +41,7 @@ type Bench struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// Report is the schema of BENCH_PR2.json.
+// Report is the schema of the BENCH_*.json baselines.
 type Report struct {
 	GoVersion  string  `json:"go_version"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
@@ -96,8 +101,8 @@ func speedups(bs []Bench) map[string]float64 {
 
 func main() {
 	quick := flag.Bool("quick", false, "one iteration per benchmark (fast, noisy; CI smoke)")
-	out := flag.String("out", "BENCH_PR2.json", "report file to write ('' to skip)")
-	baseline := flag.String("baseline", "BENCH_PR2.json", "baseline to compare against ('' or missing file skips the check)")
+	out := flag.String("out", "bench_report.json", "report file to write ('' to skip)")
+	baseline := flag.String("baseline", "", "baseline to compare against ('' = auto-discover newest BENCH_*.json; 'none' or missing file skips the check)")
 	threshold := flag.Float64("threshold", 0.20, "fail if ns/op regresses by more than this fraction vs baseline")
 	benchtime := flag.String("benchtime", "", "override -benchtime (default 0.5s, or 1x with -quick)")
 	flag.Parse()
@@ -113,12 +118,21 @@ func main() {
 	// Baseline is read before the run so -out and -baseline may be the
 	// same file (the normal workflow: compare against the committed
 	// report, then refresh it).
+	basePath := *baseline
+	if basePath == "" {
+		basePath = discoverBaseline(".")
+		if basePath != "" {
+			fmt.Fprintf(os.Stderr, "benchdiff: auto-discovered baseline %s\n", basePath)
+		}
+	} else if basePath == "none" {
+		basePath = ""
+	}
 	var base *Report
-	if *baseline != "" {
-		if data, err := os.ReadFile(*baseline); err == nil {
+	if basePath != "" {
+		if data, err := os.ReadFile(basePath); err == nil {
 			base = &Report{}
 			if err := json.Unmarshal(data, base); err != nil {
-				fmt.Fprintf(os.Stderr, "benchdiff: unreadable baseline %s: %v\n", *baseline, err)
+				fmt.Fprintf(os.Stderr, "benchdiff: unreadable baseline %s: %v\n", basePath, err)
 				os.Exit(2)
 			}
 		}
@@ -202,6 +216,31 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// discoverBaseline picks the most recent committed baseline in dir: the
+// BENCH_PR<k>.json with the highest k, else the lexicographically last
+// BENCH_*.json, else "".
+func discoverBaseline(dir string) string {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) == 0 {
+		return ""
+	}
+	bestPR, bestNum := "", -1
+	for _, m := range matches {
+		name := filepath.Base(m)
+		numStr := strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_PR"), ".json")
+		if numStr != name && numStr != "" {
+			if k, err := strconv.Atoi(numStr); err == nil && k > bestNum {
+				bestPR, bestNum = m, k
+			}
+		}
+	}
+	if bestPR != "" {
+		return bestPR
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1]
 }
 
 func sortedKeys(m map[string]float64) []string {

@@ -24,6 +24,7 @@ import (
 	"mpctree/internal/mpc"
 	"mpctree/internal/obs"
 	"mpctree/internal/par"
+	"mpctree/internal/quality"
 	"mpctree/internal/resilient"
 )
 
@@ -38,7 +39,20 @@ func main() {
 	workers := flag.Int("workers", 0, "data-parallel workers for pure compute; results are identical for any value (0 = GOMAXPROCS)")
 	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the experiments run (e.g. :9090)")
 	trace := flag.Bool("trace", false, "record per-round traces on every simulated cluster and print them after each experiment")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "log encoding: text|json")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpcbench:", err)
+		os.Exit(2)
+	}
+	logger, err := obs.NewLogger(os.Stderr, level, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpcbench:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -63,6 +77,10 @@ func main() {
 		reg = obs.New()
 		par.Instrument(reg)
 		resilient.Instrument(reg)
+		// Quality series ride the same registry: E17 publishes its audit
+		// reports through the collector, so a scrape of a live mpcbench
+		// run sees quality_* next to the mpc_* and par_* families.
+		cfg.Quality = quality.NewCollector(reg, quality.Config{Seed: *seed, Workers: *workers})
 	}
 	if reg != nil || *trace {
 		cfg.OnCluster = func(c *mpc.Cluster) {
@@ -90,11 +108,15 @@ func main() {
 		start := time.Now()
 		res, err := experiments.Run(id, cfg)
 		if err != nil {
+			logger.Error("experiment_error", "id", id, "error", err.Error())
 			fmt.Fprintf(os.Stderr, "%s: error: %v\n", id, err)
 			failed++
 			continue
 		}
 		fmt.Print(res.String())
+		logger.Info("experiment_done", "id", id,
+			"checks", len(res.Checks), "failed", len(res.Failed()),
+			"duration_ms", time.Since(start).Milliseconds())
 		for _, c := range traced {
 			if st := c.Trace(); len(st) > 0 {
 				fmt.Print(mpc.FormatTrace(st))

@@ -9,11 +9,22 @@
 //	  -require mpc_rounds_total,mpc_comm_words_total \
 //	  -trace-out spans.json
 //
+// It also gates on the embedding-quality telemetry from /metrics.json:
+// any quality_domination_violations_total > 0 fails, -max-distortion
+// bounds the mean audited distortion ratio (from the
+// quality_distortion_ratio histogram), and -min-audit-runs requires
+// that many completed audits (summed over trees) — the hot-reload smoke
+// uses it to prove a reload re-audited.
+//
+//	obscheck -url http://127.0.0.1:8080 \
+//	  -require quality_audit_runs_total -max-distortion 40 -min-audit-runs 1
+//
 // Exit status: 0 when every check passes, 1 otherwise.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +42,9 @@ func main() {
 		require  = flag.String("require", "", "comma-separated metric families that must be present")
 		traceOut = flag.String("trace-out", "", "write the /trace?format=json span dump to this file")
 		timeout  = flag.Duration("timeout", 30*time.Second, "how long to keep polling for the target to come up")
+
+		maxDistortion = flag.Float64("max-distortion", 0, "fail when the mean audited distortion ratio exceeds this (0 = no bound; implies the domination check)")
+		minAuditRuns  = flag.Int64("min-audit-runs", 0, "fail until quality_audit_runs_total (summed over trees) reaches this")
 	)
 	flag.Parse()
 
@@ -75,6 +89,12 @@ func main() {
 	}
 	fmt.Printf("obscheck: /metrics OK — %d families, all %d required series present\n", nfamilies, len(wanted))
 
+	if *maxDistortion > 0 || *minAuditRuns > 0 {
+		if err := checkQuality(*base, *maxDistortion, *minAuditRuns, *timeout); err != nil {
+			fail("%v", err)
+		}
+	}
+
 	vars, err := get(*base + "/debug/vars")
 	if err != nil {
 		fail("scrape /debug/vars: %v", err)
@@ -104,6 +124,72 @@ func main() {
 	}
 }
 
+// checkQuality gates on the quality_* telemetry scraped from
+// /metrics.json. Audits run in the background, so the run-count
+// threshold (and with it the distortion/domination reads, which are
+// only meaningful once an audit landed) sits inside the polling loop.
+func checkQuality(base string, maxDistortion float64, minRuns int64, timeout time.Duration) error {
+	var runs int64
+	var mean float64
+	err := poll(timeout, func() error {
+		body, err := get(base + "/metrics.json")
+		if err != nil {
+			return err
+		}
+		var snap struct {
+			Metrics []obs.Value `json:"metrics"`
+		}
+		if err := json.Unmarshal(body, &snap); err != nil {
+			return fmt.Errorf("/metrics.json is not valid JSON: %v", err)
+		}
+		series := snap.Metrics
+		runs = 0
+		var domViol int64
+		var histSum float64
+		var histCount int64
+		for _, v := range series {
+			switch v.Name {
+			case "quality_audit_runs_total":
+				runs += int64(v.Value)
+			case "quality_domination_violations_total":
+				domViol += int64(v.Value)
+			case "quality_distortion_ratio":
+				histSum += v.Value
+				histCount += v.Count
+			}
+		}
+		want := minRuns
+		if want == 0 {
+			want = 1
+		}
+		if runs < want {
+			return fmt.Errorf("quality_audit_runs_total = %d, want >= %d", runs, want)
+		}
+		if domViol > 0 {
+			return &hardError{fmt.Errorf("quality_domination_violations_total = %d (tree metric failed to dominate Euclidean)", domViol)}
+		}
+		if histCount == 0 {
+			return fmt.Errorf("quality_distortion_ratio has no observations yet")
+		}
+		mean = histSum / float64(histCount)
+		if maxDistortion > 0 && mean > maxDistortion {
+			return &hardError{fmt.Errorf("mean distortion ratio %.3f exceeds -max-distortion %.3f", mean, maxDistortion)}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("obscheck: quality OK — %d audits, mean distortion %.3f, zero domination violations\n", runs, mean)
+	return nil
+}
+
+// hardError marks a check that polling can never fix (counters only go
+// up; a violated bound stays violated), so poll gives up immediately.
+type hardError struct{ err error }
+
+func (e *hardError) Error() string { return e.err.Error() }
+
 // poll retries check until it succeeds or the timeout elapses.
 func poll(timeout time.Duration, check func() error) error {
 	deadline := time.Now().Add(timeout)
@@ -111,6 +197,10 @@ func poll(timeout time.Duration, check func() error) error {
 		err := check()
 		if err == nil {
 			return nil
+		}
+		var hard *hardError
+		if errors.As(err, &hard) {
+			return hard.err
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("gave up after %v: %w", timeout, err)

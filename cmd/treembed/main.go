@@ -7,30 +7,35 @@
 //	treembed -gen uniform -n 512 -d 8 -delta 1024 -method hybrid -r 2
 //	treembed -in points.csv -method grid -trees 10
 //	treembed -gen clusters -n 1000 -d 16 -mpc -machines 16
+//	treembed -gen clusters -n 500 -audit -save t.tree -save-points t.csv
 //
 // The tool prints tree statistics, MPC accounting (with -mpc), and — for
 // n ≤ 2048 — measured distortion over the requested number of trees.
+// With -audit it also runs the quality auditor on the built tree
+// (seeded pair sample, domination and Theorem-2 checks) and prints the
+// report; diagnostics go through log/slog (-log-level, -log-format).
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 
 	"mpctree"
 	"mpctree/internal/core"
 	"mpctree/internal/obs"
 	"mpctree/internal/par"
+	"mpctree/internal/quality"
 	"mpctree/internal/resilient"
 	"mpctree/internal/stats"
 	"mpctree/internal/vec"
 	"mpctree/internal/workload"
 )
+
+var logger = slog.Default()
 
 func main() {
 	var (
@@ -51,11 +56,27 @@ func main() {
 		faultSeed  = flag.Uint64("fault-seed", 0, "fault-schedule seed (0 = derive from -seed)")
 		maxRetries = flag.Int("max-retries", 0, "per-stage retry budget under -faults (0 = auto 40, -1 = none)")
 		saveTo     = flag.String("save", "", "write the embedding tree (binary) to this file")
+		savePts    = flag.String("save-points", "", "write the (deduplicated) embedded points to this file, exact round-trip precision")
 		dotTo      = flag.String("dot", "", "write the tree as Graphviz DOT to this file")
-		httpAddr   = flag.String("http", "", "serve /metrics, /trace, /debug/vars and /debug/pprof on this address (e.g. :9090) and linger after the run until SIGINT (with -mpc)")
+		httpAddr   = flag.String("http", "", "serve /metrics, /trace, /debug/vars and /debug/pprof on this address (e.g. :9090) and linger after the run until SIGINT/SIGTERM (with -mpc)")
 		trace      = flag.Bool("trace", false, "record and print the per-round communication/residency trace (with -mpc)")
+
+		audit      = flag.Bool("audit", false, "run the quality auditor on the built tree and print the report")
+		auditPairs = flag.Int("audit-pairs", 2048, "point pairs sampled by -audit (-1 = all pairs)")
+
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "log encoding: text|json")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fail(err)
+	}
+	logger, err = obs.NewLogger(os.Stderr, level, *logFormat)
+	if err != nil {
+		fail(err)
+	}
 
 	if (*httpAddr != "" || *trace) && !*useMPC {
 		fmt.Fprintln(os.Stderr, "treembed: -http and -trace require -mpc (they observe the simulated cluster)")
@@ -64,10 +85,16 @@ func main() {
 
 	pts, err := loadOrGenerate(*in, *gen, *n, *d, *delta, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "treembed:", err)
-		os.Exit(1)
+		fail(err)
 	}
+	logger.Info("points_ready", "points", len(pts), "dimension", len(pts[0]))
 	fmt.Printf("points: %d, dimension: %d\n", len(pts), len(pts[0]))
+	if *savePts != "" {
+		if err := workload.WritePoints(*savePts, pts); err != nil {
+			fail(err)
+		}
+		fmt.Printf("points saved to %s\n", *savePts)
+	}
 
 	if *useMPC {
 		mopt := mpctree.MPCOptions{Machines: *machines, CapWords: 1 << 22, Seed: *seed, Workers: *workers, Trace: *trace}
@@ -78,20 +105,25 @@ func main() {
 		var reg *obs.Registry
 		var root *obs.Span
 		var srv *obs.Server
-		if *httpAddr != "" {
+		if *httpAddr != "" || *audit {
 			reg = obs.New()
 			par.Instrument(reg)
 			resilient.Instrument(reg)
 			root = obs.NewSpan("treembed")
 			mopt.Obs = reg
 			mopt.Span = root
-			var err error
-			srv, err = obs.Serve(*httpAddr, reg, root)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "treembed:", err)
-				os.Exit(1)
+			if *httpAddr != "" {
+				var err error
+				srv, err = obs.Serve(*httpAddr, reg, root)
+				if err != nil {
+					fail(err)
+				}
+				fmt.Printf("observability: http://%s (/metrics, /trace, /debug/vars, /debug/pprof)\n", srv.Addr())
 			}
-			fmt.Printf("observability: http://%s (/metrics, /trace, /debug/vars, /debug/pprof)\n", srv.Addr())
+		}
+		if *audit {
+			mopt.Quality = mpctree.NewQualityCollector(reg,
+				mpctree.QualityConfig{MaxPairs: *auditPairs, Seed: *seed, Workers: *workers})
 		}
 
 		if *faults > 0 {
@@ -109,8 +141,7 @@ func main() {
 		}
 		tree, info, err := mpctree.EmbedMPC(pts, mopt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "treembed:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("tree: %d nodes, height %d\n", tree.NumNodes(), tree.Height())
 		fmt.Printf("MPC: %d machines, %d rounds, peak local %d words, total space %d words, comm %d words\n",
@@ -132,6 +163,15 @@ func main() {
 			if info.Degraded {
 				fmt.Printf("DEGRADED: %s (embedded original un-reduced points)\n", info.DegradedReason)
 			}
+		}
+		if *audit {
+			printAudit(mopt.Quality.Last())
+		}
+		if *saveTo != "" {
+			if err := saveTree(tree, *saveTo); err != nil {
+				fail(err)
+			}
+			fmt.Printf("saved to %s\n", *saveTo)
 		}
 		if *trace {
 			fmt.Print(mpctree.FormatRoundTrace(info.RoundTrace))
@@ -167,21 +207,25 @@ func main() {
 
 	tree, info, err := mpctree.Embed(pts, mpctree.Options{Method: m, R: *r, Seed: *seed, Workers: *workers})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "treembed:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("tree: %d nodes, height %d, levels %d, r=%d\n", tree.NumNodes(), tree.Height(), info.Levels, info.R)
+	if *audit {
+		rep, err := quality.Audit(tree, pts, quality.Config{MaxPairs: *auditPairs, Seed: *seed, Workers: *workers})
+		if err != nil {
+			fail(err)
+		}
+		printAudit(rep)
+	}
 	if *saveTo != "" {
 		if err := saveTree(tree, *saveTo); err != nil {
-			fmt.Fprintln(os.Stderr, "treembed:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("saved to %s\n", *saveTo)
 	}
 	if *dotTo != "" {
 		if err := dumpDOT(tree, *dotTo); err != nil {
-			fmt.Fprintln(os.Stderr, "treembed:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("DOT written to %s\n", *dotTo)
 	}
@@ -192,12 +236,34 @@ func main() {
 			return t, err
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "treembed:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("distortion over %d trees: E[max pair] %.3f, mean %.3f, min single %.4f (domination requires ≥ 1), p95 %.3f\n",
 			dist.Trees, dist.MaxMeanRatio, dist.MeanRatio, dist.MinRatio, dist.P95Ratio)
 	}
+}
+
+// printAudit renders one quality report on stdout and mirrors it into
+// the structured log.
+func printAudit(rep *quality.Report) {
+	if rep == nil {
+		fmt.Println("audit: no report (pipeline audit did not run)")
+		return
+	}
+	fmt.Printf("audit: %d/%d pairs (seed %d): mean %.3f, p95 %.3f, max %.3f, min %.4f; domination violations %d\n",
+		rep.SampledPairs, rep.TotalPairs, rep.Seed,
+		rep.MeanRatio, rep.P95Ratio, rep.MaxRatio, rep.MinRatio, rep.DominationViolations)
+	if rep.BoundViolated {
+		fmt.Printf("audit: WARNING mean ratio %.3f exceeds alarm threshold %.3f\n", rep.MeanRatio, rep.MaxMeanRatio)
+	}
+	for _, st := range rep.Levels {
+		logger.Debug("audit_level", "level", st.Level, "together", st.Together,
+			"separated", st.Separated, "sep_rate", st.SepRate, "diam_ratio", st.DiamRatio)
+	}
+	logger.Info("audit", "pairs", rep.SampledPairs, "mean_ratio", rep.MeanRatio,
+		"max_ratio", rep.MaxRatio, "min_ratio", rep.MinRatio,
+		"p95_ratio", rep.P95Ratio, "domination_violations", rep.DominationViolations,
+		"bound_violated", rep.BoundViolated)
 }
 
 func saveTree(t *mpctree.Tree, path string) error {
@@ -226,7 +292,7 @@ func dumpDOT(t *mpctree.Tree, path string) error {
 
 func loadOrGenerate(in, gen string, n, d, delta int, seed uint64) ([]vec.Point, error) {
 	if in != "" {
-		return readPoints(in)
+		return workload.ReadPoints(in)
 	}
 	switch gen {
 	case "uniform":
@@ -242,41 +308,7 @@ func loadOrGenerate(in, gen string, n, d, delta int, seed uint64) ([]vec.Point, 
 	}
 }
 
-func readPoints(path string) ([]vec.Point, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var pts []vec.Point
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
-		p := make(vec.Point, 0, len(fields))
-		for _, fstr := range fields {
-			v, err := strconv.ParseFloat(fstr, 64)
-			if err != nil {
-				return nil, fmt.Errorf("%s:%d: %v", path, line, err)
-			}
-			p = append(p, v)
-		}
-		if len(pts) > 0 && len(p) != len(pts[0]) {
-			return nil, fmt.Errorf("%s:%d: dimension %d != %d", path, line, len(p), len(pts[0]))
-		}
-		pts = append(pts, p)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(pts) == 0 {
-		return nil, fmt.Errorf("%s: no points", path)
-	}
-	return vec.Dedup(pts), nil
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "treembed:", err)
+	os.Exit(1)
 }

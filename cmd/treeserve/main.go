@@ -3,9 +3,13 @@
 // written by `treembed -save`, answers concurrent batched queries over
 // HTTP/JSON, hot-reloads trees without dropping in-flight requests, and
 // exposes the full observability surface (/metrics, /metrics.json,
-// /debug/vars, /debug/pprof) on the same listener.
+// /debug/vars, /debug/pprof) on the same listener. When the original
+// points are registered alongside a tree (-points), a background quality
+// auditor measures distortion against the Euclidean metric after every
+// load and hot reload, publishing quality_* metrics and /v1/quality.
 //
 //	treeserve -tree demo=t.tree -addr :8080
+//	treeserve -tree demo=t.tree -points demo=t.csv -audit-pairs 1024
 //	treeserve -tree a=a.tree -tree b=b.tree -deadline 5s -workers 4
 //	treeserve -tree demo=t.tree -selftest -clients 8 -queries 20000
 //
@@ -18,7 +22,10 @@
 //	POST /v1/medoid        {"tree":"demo"}
 //	GET  /v1/trees
 //	POST /v1/trees/reload  {"tree":"demo"}
+//	GET  /v1/quality[?tree=demo]
 //
+// Logs are structured (log/slog); -log-format json is the default for
+// this daemon so access logs and audit results are machine-parseable.
 // On SIGINT/SIGTERM the server drains gracefully: the listener closes,
 // in-flight requests run to completion (up to -drain), then the process
 // exits 0.
@@ -28,6 +35,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -39,27 +47,38 @@ import (
 	"mpctree/internal/hst"
 	"mpctree/internal/obs"
 	"mpctree/internal/par"
+	"mpctree/internal/quality"
 	"mpctree/internal/serve"
 )
 
-// treeFlags collects repeated -tree name=path arguments.
-type treeFlags []string
+// repeatFlags collects repeated name=path arguments (-tree, -points).
+type repeatFlags []string
 
-func (t *treeFlags) String() string { return strings.Join(*t, ",") }
-func (t *treeFlags) Set(v string) error {
+func (t *repeatFlags) String() string { return strings.Join(*t, ",") }
+func (t *repeatFlags) Set(v string) error {
 	*t = append(*t, v)
 	return nil
 }
 
+var logger = slog.Default()
+
 func main() {
-	var trees treeFlags
+	var trees, points repeatFlags
 	flag.Var(&trees, "tree", "name=path of a tree written by treembed -save (repeatable, required)")
+	flag.Var(&points, "points", "name=path of the named tree's original points (repeatable; enables background quality audits)")
 	var (
 		addr     = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
 		workers  = flag.Int("workers", 0, "data-parallel workers per batch request (0 = GOMAXPROCS)")
 		deadline = flag.Duration("deadline", 30*time.Second, "per-request wall budget (answers 503 when exceeded)")
 		maxBody  = flag.Int64("max-body", 8<<20, "maximum request body bytes")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests on SIGINT/SIGTERM")
+
+		auditPairs = flag.Int("audit-pairs", 512, "point pairs sampled per quality audit (-1 = all pairs; with -points)")
+		auditSeed  = flag.Uint64("audit-seed", 1, "pair-sampling seed for quality audits")
+		maxMean    = flag.Float64("max-distortion", 0, "mean-distortion alarm threshold for audits (0 = no alarm)")
+
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		logFormat = flag.String("log-format", "json", "log encoding: json|text")
 
 		selftest = flag.Bool("selftest", false, "serve on a loopback port, drive the load generator against it (with hot reloads), print the report, and exit non-zero on any error")
 		clients  = flag.Int("clients", 8, "concurrent load-generator clients (with -selftest)")
@@ -68,6 +87,15 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "load-generator stream seed (with -selftest)")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fail(err)
+	}
+	logger, err = obs.NewLogger(os.Stderr, level, *logFormat)
+	if err != nil {
+		fail(err)
+	}
 
 	if len(trees) == 0 {
 		fmt.Fprintln(os.Stderr, "treeserve: at least one -tree name=path is required")
@@ -78,6 +106,14 @@ func main() {
 	reg := obs.New()
 	par.Instrument(reg)
 	registry := serve.NewRegistry(reg)
+	if len(points) > 0 {
+		registry.EnableQuality(quality.Config{
+			MaxPairs:     *auditPairs,
+			Seed:         *auditSeed,
+			Workers:      *workers,
+			MaxMeanRatio: *maxMean,
+		}, logger)
+	}
 	var firstName string
 	var firstPoints int
 	for _, spec := range trees {
@@ -89,11 +125,21 @@ func main() {
 			fail(err)
 		}
 		t, _ := registry.Get(name)
-		fmt.Printf("loaded %q from %s: %d points, %d nodes, height %d\n",
-			name, path, t.NumPoints(), t.NumNodes(), t.Height())
+		logger.Info("tree_loaded", "tree", name, "path", path,
+			"points", t.NumPoints(), "nodes", t.NumNodes(), "height", t.Height())
 		if firstName == "" {
 			firstName, firstPoints = name, t.NumPoints()
 		}
+	}
+	for _, spec := range points {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			fail(fmt.Errorf("bad -points %q (want name=path)", spec))
+		}
+		if err := registry.LoadPoints(name, path); err != nil {
+			fail(err)
+		}
+		logger.Info("points_loaded", "tree", name, "path", path)
 	}
 
 	server := serve.NewServer(registry, serve.Options{
@@ -101,6 +147,7 @@ func main() {
 		Deadline:     *deadline,
 		MaxBodyBytes: *maxBody,
 		Obs:          reg,
+		Logger:       logger,
 	})
 	mux := http.NewServeMux()
 	server.RegisterMux(mux)
@@ -110,7 +157,7 @@ func main() {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "treeserve\n\nPOST /v1/dist /v1/knn /v1/cut /v1/emd /v1/medoid /v1/trees/reload\nGET  /v1/trees\nGET  /metrics /metrics.json /debug/vars /debug/pprof/\n")
+		fmt.Fprint(w, "treeserve\n\nPOST /v1/dist /v1/knn /v1/cut /v1/emd /v1/medoid /v1/trees/reload\nGET  /v1/trees /v1/quality\nGET  /metrics /metrics.json /debug/vars /debug/pprof/\n")
 	})
 
 	listenAddr := *addr
@@ -127,7 +174,7 @@ func main() {
 			fail(err)
 		}
 	}()
-	fmt.Printf("serving on http://%s (%d trees)\n", ln.Addr(), len(trees))
+	logger.Info("serving", "addr", "http://"+ln.Addr().String(), "trees", len(trees))
 
 	if *selftest {
 		report := serve.RunLoad("http://"+ln.Addr().String(), firstName, firstPoints, serve.LoadOptions{
@@ -139,6 +186,7 @@ func main() {
 			Verify:      mustGet(registry, firstName),
 		})
 		fmt.Println("selftest:", report)
+		registry.WaitAudits()
 		_ = httpSrv.Shutdown(context.Background())
 		if report.Errors > 0 {
 			fmt.Fprintf(os.Stderr, "treeserve: selftest FAILED: %d errors (first: %s)\n", report.Errors, report.FirstErr)
@@ -152,14 +200,15 @@ func main() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	sig := <-ch
-	fmt.Printf("received %v, draining (budget %v)\n", sig, *drain)
+	logger.Info("draining", "signal", sig.String(), "budget", drain.String())
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "treeserve: drain incomplete: %v\n", err)
+		logger.Error("drain_incomplete", "error", err.Error())
 		os.Exit(1)
 	}
-	fmt.Println("drained cleanly")
+	registry.WaitAudits()
+	logger.Info("drained")
 }
 
 func mustGet(r *serve.Registry, name string) *hst.Tree {

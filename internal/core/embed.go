@@ -23,6 +23,7 @@ import (
 	"mpctree/internal/hst"
 	"mpctree/internal/par"
 	"mpctree/internal/partition"
+	"mpctree/internal/quality"
 	"mpctree/internal/rng"
 	"mpctree/internal/vec"
 )
@@ -89,6 +90,14 @@ type Options struct {
 	// ≤ 0 means GOMAXPROCS, 1 is serial). Grids are still drawn serially
 	// from the seeded RNG, so the tree is bit-identical for any value.
 	Workers int
+
+	// Quality, if non-nil, receives the per-level Lemma-1 observables
+	// (separation events, same-part diameters) for the collector's seeded
+	// pair sample, measured against each level's flat partition as it is
+	// built. Observational only: the pair sample draws from the
+	// collector's own seed, never from the embedding RNG, so the tree is
+	// bit-identical with or without it.
+	Quality *quality.Collector
 }
 
 // Info reports what an embedding run did — the quantities the paper's
@@ -276,6 +285,23 @@ func Embed(pts []vec.Point, opt Options) (*hst.Tree, *Info, error) {
 	clusterKey := make([]string, n)
 	clusterSize := map[string]int{"": n}
 
+	// Quality instrumentation state: a seeded pair sample walked through
+	// the levels alongside the points. Two points still together share
+	// the whole id chain, so comparing this level's flat ids decides
+	// separation; both members of a together pair are in a ≥2-point
+	// cluster and therefore still active with fresh ids.
+	var qPairs [][2]int
+	var qTogether []bool
+	var qStats []partition.LevelStat
+	if opt.Quality != nil {
+		qc := opt.Quality.Config()
+		qPairs = quality.SamplePairs(qc.Seed, n, qc.MaxPairs)
+		qTogether = make([]bool, len(qPairs))
+		for i := range qTogether {
+			qTogether[i] = true
+		}
+	}
+
 	w := diam / 2
 	for lev := 1; lev <= levels; lev++ {
 		var levIDs []string
@@ -292,6 +318,9 @@ func Embed(pts []vec.Point, opt Options) (*hst.Tree, *Info, error) {
 		}
 		info.GridsPerLevel = append(info.GridsPerLevel, used)
 		ids[lev] = levIDs
+		if opt.Quality != nil {
+			qStats = append(qStats, partition.PairLevelStats(work, levIDs, qTogether, qPairs, lev, w, diamFactor*w))
+		}
 
 		// Extend chains and recompute cluster sizes; deactivate singletons.
 		next := make(map[string]int, len(clusterSize))
@@ -329,6 +358,7 @@ func Embed(pts []vec.Point, opt Options) (*hst.Tree, *Info, error) {
 	if err != nil {
 		return nil, info, err
 	}
+	opt.Quality.ObserveLevels(qStats)
 	return t, info, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"mpctree/internal/mpc"
 	"mpctree/internal/mpcembed"
 	"mpctree/internal/obs"
+	"mpctree/internal/quality"
 	"mpctree/internal/resilient"
 	"mpctree/internal/vec"
 )
@@ -64,6 +65,15 @@ type PipelineOptions struct {
 	// are marked failed=1 and retries attempt=k. Spans are observational
 	// only: the output tree is bit-identical with or without them.
 	Span *obs.Span
+
+	// Quality, if non-nil, audits the FINAL tree (after the 1/(1−ξ)
+	// rescale) against the ORIGINAL points on the collector's seeded pair
+	// sample and publishes the quality_* series, plus the per-scale
+	// Lemma-1 observables from inside the embedding stage. When the
+	// collector's MaxMeanRatio is zero, the Theorem-2 alarm threshold
+	// defaults to Thm2Bound over the run's actual (d, r, levels).
+	// Observational only: the tree is bit-identical with or without it.
+	Quality *quality.Collector
 }
 
 // PipelineInfo aggregates accounting across both stages.
@@ -226,6 +236,7 @@ func EmbedPipeline(c *mpc.Cluster, pts []vec.Point, opt PipelineOptions) (*hst.T
 	err = runStage("embed", "tree_embed", func(sp *obs.Span) error {
 		eoAttempt := eo
 		eoAttempt.Span = sp
+		eoAttempt.Quality = opt.Quality
 		t, ei, err := mpcembed.Embed(c, work, eoAttempt)
 		einfo = ei // partial accounting survives a failed attempt
 		if err != nil {
@@ -246,6 +257,18 @@ func EmbedPipeline(c *mpc.Cluster, pts []vec.Point, opt PipelineOptions) (*hst.T
 	}
 	if info.UsedFJLT {
 		tree.ScaleWeights(1 / (1 - xi))
+	}
+	if opt.Quality != nil {
+		// Audit the final tree against the ORIGINAL points: the 1/(1−ξ)
+		// rescale above is exactly what makes domination hold w.h.p. for
+		// the un-reduced metric, so that is the claim worth checking.
+		qcfg := opt.Quality.Config()
+		if qcfg.MaxMeanRatio == 0 && einfo != nil {
+			qcfg.MaxMeanRatio = quality.Thm2Bound(einfo.Dim, einfo.R, einfo.Levels)
+		}
+		if rep, aerr := quality.Audit(tree, pts, qcfg); aerr == nil {
+			opt.Quality.ObserveAudit(rep)
+		}
 	}
 	return tree, info, nil
 }

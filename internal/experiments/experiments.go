@@ -24,6 +24,8 @@
 //	E15-Cor1MPC  Corollary 1 distributed: O(1)-round on-cluster queries
 //	E16-Chaos    robustness: Theorem-1 pipeline under injected faults —
 //	             recovery cost, and bit-identity with the fault-free run
+//	E17-Quality  telemetry: the online auditor agrees with the offline
+//	             distortion measurement and never perturbs the embedding
 //
 // Each Run function takes a Config and returns a Result whose Checks are
 // asserted by the test suite and whose Tables are printed by
@@ -36,6 +38,7 @@ import (
 	"strings"
 
 	"mpctree/internal/mpc"
+	"mpctree/internal/quality"
 	"mpctree/internal/stats"
 )
 
@@ -69,6 +72,11 @@ type Config struct {
 	// (Cluster.Instrument) and per-round tracing (Cluster.EnableTrace).
 	// Observational hooks only: the hook must not change cluster behavior.
 	OnCluster func(*mpc.Cluster)
+
+	// Quality, if non-nil, receives the audit reports experiments produce
+	// (E17 publishes through it) so a -http mpcbench run exposes
+	// quality_* series live. Observational only.
+	Quality *quality.Collector
 }
 
 // NewCluster creates a simulated cluster and runs the OnCluster hook on

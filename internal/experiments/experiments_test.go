@@ -10,8 +10,8 @@ import (
 // regression suite against the paper.
 func TestAllExperimentsQuick(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 {
-		t.Fatalf("expected 16 experiments, found %d: %v", len(ids), ids)
+	if len(ids) != 17 {
+		t.Fatalf("expected 17 experiments, found %d: %v", len(ids), ids)
 	}
 	for _, id := range ids {
 		id := id

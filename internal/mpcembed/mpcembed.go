@@ -41,6 +41,7 @@ import (
 	"mpctree/internal/obs"
 	"mpctree/internal/par"
 	"mpctree/internal/partition"
+	"mpctree/internal/quality"
 	"mpctree/internal/rng"
 	"mpctree/internal/vec"
 )
@@ -104,6 +105,12 @@ type Options struct {
 	// carries exact rounds/comm_words deltas from the cluster meters;
 	// spans are observational only and never change the output.
 	Span *obs.Span
+	// Quality, if non-nil, receives the per-scale Lemma-1 observables for
+	// the collector's seeded pair sample, derived driver-side from the
+	// assembled (pre-Compress) tree — pairs span machines, so the flat
+	// partitions are never materialised in one place; the tree's LCA
+	// levels carry the same information. Observational only.
+	Quality *quality.Collector
 }
 
 // Info reports the run's accounting.
@@ -602,6 +609,12 @@ func Embed(c *mpc.Cluster, pts []vec.Point, opt Options) (*hst.Tree, *Info, erro
 	t, err := assemble(c, n, levels)
 	if err != nil {
 		return nil, info, err
+	}
+	if opt.Quality != nil {
+		// Observe on the full-depth tree: Compress merges unary chains and
+		// sums their weights, which blurs the per-level diameter bounds.
+		qc := opt.Quality.Config()
+		opt.Quality.ObserveLevels(quality.TreeLevelStats(t, pts, quality.SamplePairs(qc.Seed, n, qc.MaxPairs)))
 	}
 	if opt.Compress {
 		t = t.Compress()

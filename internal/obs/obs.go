@@ -274,7 +274,7 @@ type Value struct {
 	Help    string            `json:"help,omitempty"`
 	Kind    string            `json:"kind"`
 	Labels  map[string]string `json:"labels,omitempty"`
-	Value   float64           `json:"value"`          // counter/gauge value; histogram sum
+	Value   float64           `json:"value"`           // counter/gauge value; histogram sum
 	Count   int64             `json:"count,omitempty"` // histogram only
 	Buckets []BucketValue     `json:"buckets,omitempty"`
 }

@@ -1,0 +1,66 @@
+// Per-scale pair statistics: the observable form of Lemma 1. For a fixed
+// sample of point pairs, each hierarchy level's flat partitioning either
+// separates a pair (probability ≤ O(√d·‖p−q‖₂/w) per level) or keeps it
+// together — and a pair kept together lies inside one part, whose diameter
+// Lemma 1 bounds by 2√r·w (ball-based methods) or √d·w (grid). LevelStat
+// aggregates both observables for one level so the quality layer can
+// export them as metric series instead of re-proving them offline.
+package partition
+
+import "mpctree/internal/vec"
+
+// LevelStat is one level's separation/diameter summary over a pair sample.
+type LevelStat struct {
+	Level int `json:"level"`
+	// Scale is the partitioning scale w at this level (0 when the stat was
+	// derived from an assembled tree, where only the edge weight survives).
+	Scale float64 `json:"scale,omitempty"`
+	// DiamBound is the Lemma-1 cluster-diameter bound at this level — the
+	// edge weight diamFactor·w the tree charges for staying together here.
+	DiamBound float64 `json:"diam_bound,omitempty"`
+	// Together counts sampled pairs that entered this level un-separated.
+	Together int `json:"together"`
+	// Separated counts pairs whose first separation happened at this level.
+	Separated int `json:"separated"`
+	// MaxSamePartDist is the largest Euclidean distance among pairs still
+	// sharing a part after this level. Lemma 1 promises it ≤ DiamBound.
+	MaxSamePartDist float64 `json:"max_same_part_dist"`
+	// DiamRatio is MaxSamePartDist/DiamBound (0 when DiamBound is 0 or no
+	// pair survived). Values above 1 falsify the Lemma-1 diameter bound.
+	DiamRatio float64 `json:"diam_ratio"`
+	// SepRate is Separated/Together (0 when nothing entered).
+	SepRate float64 `json:"sep_rate"`
+}
+
+// PairLevelStats folds one level's flat partition ids into the running
+// pair state: pairs[k] is only examined while together[k] is true; a pair
+// whose two ids differ (or either is Uncovered) is recorded as separated
+// at this level and together[k] is cleared. pts provides the Euclidean
+// distances for the diameter observable. ids must cover every point a
+// still-together pair touches (in the hierarchical embedding, both
+// members of a together pair are active, so they always have fresh ids).
+func PairLevelStats(pts []vec.Point, ids []string, together []bool, pairs [][2]int, level int, scale, diamBound float64) LevelStat {
+	st := LevelStat{Level: level, Scale: scale, DiamBound: diamBound}
+	for k, pr := range pairs {
+		if !together[k] {
+			continue
+		}
+		st.Together++
+		i, j := pr[0], pr[1]
+		if ids[i] == Uncovered || ids[j] == Uncovered || ids[i] != ids[j] {
+			st.Separated++
+			together[k] = false
+			continue
+		}
+		if d := vec.Dist(pts[i], pts[j]); d > st.MaxSamePartDist {
+			st.MaxSamePartDist = d
+		}
+	}
+	if st.DiamBound > 0 && st.MaxSamePartDist > 0 {
+		st.DiamRatio = st.MaxSamePartDist / st.DiamBound
+	}
+	if st.Together > 0 {
+		st.SepRate = float64(st.Separated) / float64(st.Together)
+	}
+	return st
+}

@@ -1,0 +1,81 @@
+package partition
+
+import (
+	"testing"
+
+	"mpctree/internal/vec"
+)
+
+// TestPairLevelStatsHandConstructed drives the fold over hand-built flat
+// partitions with exactly known separation counts.
+//
+// Four collinear points at x = 0, 1, 10, 11; pairs: (0,1), (2,3), (0,2).
+// Level 1 puts {0,1} in part "a" and {2,3} in "b": only (0,2) separates.
+// Level 2 splits 0 from 1 (parts "a","c") while keeping {2,3}: (0,1)
+// separates, (2,3) survives with distance 1. Level 3 leaves 2 uncovered:
+// (2,3) separates, nothing remains.
+func TestPairLevelStatsHandConstructed(t *testing.T) {
+	pts := []vec.Point{{0}, {1}, {10}, {11}}
+	pairs := [][2]int{{0, 1}, {2, 3}, {0, 2}}
+	together := []bool{true, true, true}
+
+	st1 := PairLevelStats(pts, []string{"a", "a", "b", "b"}, together, pairs, 1, 16, 32)
+	if st1.Together != 3 || st1.Separated != 1 {
+		t.Fatalf("level 1: together=%d separated=%d, want 3/1", st1.Together, st1.Separated)
+	}
+	if st1.MaxSamePartDist != 1 {
+		t.Fatalf("level 1: max same-part dist %v, want 1 (pairs (0,1) and (2,3) both at distance 1)", st1.MaxSamePartDist)
+	}
+	if st1.DiamRatio != 1.0/32 {
+		t.Fatalf("level 1: diam ratio %v, want 1/32", st1.DiamRatio)
+	}
+	if st1.SepRate != 1.0/3 {
+		t.Fatalf("level 1: sep rate %v, want 1/3", st1.SepRate)
+	}
+	if together[2] {
+		t.Fatal("pair (0,2) still marked together after separating")
+	}
+
+	st2 := PairLevelStats(pts, []string{"a", "c", "b", "b"}, together, pairs, 2, 8, 16)
+	if st2.Together != 2 || st2.Separated != 1 {
+		t.Fatalf("level 2: together=%d separated=%d, want 2/1", st2.Together, st2.Separated)
+	}
+	if st2.MaxSamePartDist != 1 {
+		t.Fatalf("level 2: max same-part dist %v, want 1 (only (2,3) survives)", st2.MaxSamePartDist)
+	}
+	if st2.Scale != 8 || st2.Level != 2 {
+		t.Fatalf("level 2: scale/level not recorded: %+v", st2)
+	}
+
+	// An Uncovered id separates a pair even when the other member matches.
+	st3 := PairLevelStats(pts, []string{"a", "c", Uncovered, "b"}, together, pairs, 3, 4, 8)
+	if st3.Together != 1 || st3.Separated != 1 {
+		t.Fatalf("level 3: together=%d separated=%d, want 1/1", st3.Together, st3.Separated)
+	}
+	if st3.MaxSamePartDist != 0 || st3.DiamRatio != 0 {
+		t.Fatalf("level 3: expected no surviving pairs, got max dist %v", st3.MaxSamePartDist)
+	}
+
+	// Everything separated: the fold is exhausted.
+	st4 := PairLevelStats(pts, []string{"a", "b", "c", "d"}, together, pairs, 4, 2, 4)
+	if st4.Together != 0 || st4.Separated != 0 || st4.SepRate != 0 {
+		t.Fatalf("level 4: expected empty stat, got %+v", st4)
+	}
+}
+
+// TestPairLevelStatsSeparatedPairsStaySeparated asserts the running
+// state is monotone: once a pair separates, later levels never resurrect
+// it even if its ids match again.
+func TestPairLevelStatsSeparatedPairsStaySeparated(t *testing.T) {
+	pts := []vec.Point{{0}, {3}}
+	pairs := [][2]int{{0, 1}}
+	together := []bool{true}
+	st := PairLevelStats(pts, []string{"x", "y"}, together, pairs, 1, 8, 16)
+	if st.Separated != 1 {
+		t.Fatalf("expected separation, got %+v", st)
+	}
+	st = PairLevelStats(pts, []string{"z", "z"}, together, pairs, 2, 4, 8)
+	if st.Together != 0 || st.Separated != 0 {
+		t.Fatalf("separated pair re-entered the fold: %+v", st)
+	}
+}

@@ -9,6 +9,7 @@ package serve
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"sync"
@@ -16,15 +17,21 @@ import (
 
 	"mpctree/internal/hst"
 	"mpctree/internal/obs"
+	"mpctree/internal/quality"
 )
 
 // entry is one named tree: the served pointer plus the file it reloads
-// from.
+// from, and (when quality auditing is enabled) the audit ground-truth
+// points and latest audit result.
 type entry struct {
 	name       string
 	path       string
 	tree       atomic.Pointer[hst.Tree]
 	generation atomic.Int64 // successful loads, starting at 1
+
+	points  atomic.Pointer[pointSet]      // audit ground truth (nil = not registered)
+	qresult atomic.Pointer[QualityResult] // latest completed audit
+	qcol    *quality.Collector            // lazily built, guarded by Registry.mu
 }
 
 // TreeInfo describes one registry entry for /v1/trees and logs.
@@ -47,6 +54,10 @@ type Registry struct {
 	treesGauge *obs.Gauge
 	reloads    *obs.Counter
 	loadErrors *obs.Counter
+
+	qcfg *quality.Config // nil = auditing disabled
+	qlog *slog.Logger
+	qwg  sync.WaitGroup
 }
 
 // NewRegistry returns an empty registry. reg may be nil; when set, the
@@ -116,6 +127,7 @@ func (r *Registry) Load(name, path string) error {
 	e.tree.Store(t)
 	e.generation.Add(1)
 	r.observe(e, t)
+	r.maybeAudit(e)
 	return nil
 }
 
@@ -144,6 +156,7 @@ func (r *Registry) Reload(name string) error {
 	e.tree.Store(t)
 	e.generation.Add(1)
 	r.observe(e, t)
+	r.maybeAudit(e)
 	return nil
 }
 

@@ -13,8 +13,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"mpctree/internal/hst"
@@ -30,6 +33,12 @@ type Options struct {
 	MaxBodyBytes int64         // request body cap; 0 = 8 MiB
 	MaxBatch     int           // max items (pairs, points) per batch request; 0 = 1<<20
 	Obs          *obs.Registry // metrics sink; nil = unmetered
+	// Logger, if non-nil, emits one structured access-log record per
+	// /v1/* request with a request id (honoring an incoming
+	// X-Request-ID, else generated and echoed back in the response
+	// header), the endpoint span name, method, path, status, duration,
+	// and remote address.
+	Logger *slog.Logger
 }
 
 // DefaultLatencyBuckets spans 100µs–25s in powers of ~5 — wide enough
@@ -48,6 +57,10 @@ type Server struct {
 
 	reg      *obs.Registry
 	inflight *obs.Gauge
+
+	logger  *slog.Logger
+	startID string        // request-id prefix, unique per server start
+	reqSeq  atomic.Uint64 // request-id sequence
 }
 
 // NewServer wraps a tree registry in the HTTP query API.
@@ -59,6 +72,8 @@ func NewServer(trees *Registry, opts Options) *Server {
 		maxBody:  opts.MaxBodyBytes,
 		maxBatch: opts.MaxBatch,
 		reg:      opts.Obs,
+		logger:   opts.Logger,
+		startID:  strconv.FormatInt(time.Now().UnixNano(), 36),
 	}
 	if s.deadline == 0 {
 		s.deadline = 30 * time.Second
@@ -84,6 +99,7 @@ func (s *Server) RegisterMux(mux *http.ServeMux) {
 	mux.HandleFunc("/v1/medoid", s.endpoint("medoid", http.MethodPost, s.handleMedoid))
 	mux.HandleFunc("/v1/trees", s.endpoint("trees", "", s.handleTrees))
 	mux.HandleFunc("/v1/trees/reload", s.endpoint("reload", http.MethodPost, s.handleReload))
+	mux.HandleFunc("/v1/quality", s.endpoint("quality", http.MethodGet, s.handleQuality))
 }
 
 // apiError carries an HTTP status through the handler return path.
@@ -120,14 +136,31 @@ func (s *Server) endpoint(name, method string, fn func(*http.Request) (any, erro
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = s.startID + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		status := http.StatusOK
+		if s.logger != nil {
+			defer func() {
+				s.logger.Info("request",
+					"request_id", reqID, "endpoint", name,
+					"method", r.Method, "path", r.URL.Path,
+					"status", status,
+					"duration_ms", float64(time.Since(start).Microseconds())/1000,
+					"remote", r.RemoteAddr)
+			}()
+		}
 		if requests != nil {
 			requests.Inc()
 			s.inflight.Add(1)
 			defer s.inflight.Add(-1)
 			defer func() { latency.Observe(time.Since(start).Seconds()) }()
 		}
-		fail := func(status int, msg string) {
-			if status >= 500 {
+		fail := func(st int, msg string) {
+			status = st
+			if st >= 500 {
 				if errors5xx != nil {
 					errors5xx.Inc()
 				}
@@ -135,7 +168,7 @@ func (s *Server) endpoint(name, method string, fn func(*http.Request) (any, erro
 				errors4xx.Inc()
 			}
 			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(status)
+			w.WriteHeader(st)
 			_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 		}
 		if method != "" && r.Method != method {
@@ -459,4 +492,32 @@ func (s *Server) handleReload(r *http.Request) (any, error) {
 		}
 	}
 	return nil, fmt.Errorf("tree %q vanished after reload", req.Tree)
+}
+
+// ---- /v1/quality ----
+
+// QualityResponse lists the latest audit result per audited tree. With
+// ?tree=<name> it narrows to that tree (404 for unknown names; an empty
+// result list for a known tree whose first audit has not finished).
+type QualityResponse struct {
+	Results []QualityResult `json:"results"`
+}
+
+func (s *Server) handleQuality(r *http.Request) (any, error) {
+	if name := r.URL.Query().Get("tree"); name != "" {
+		res, err := s.trees.Quality(name)
+		if err != nil {
+			return nil, notFound(err)
+		}
+		out := QualityResponse{Results: []QualityResult{}}
+		if res != nil {
+			out.Results = append(out.Results, *res)
+		}
+		return out, nil
+	}
+	results := s.trees.QualityAll()
+	if results == nil {
+		results = []QualityResult{}
+	}
+	return QualityResponse{Results: results}, nil
 }

@@ -1,0 +1,83 @@
+// Point-file I/O shared by the cmd/ tools: a whitespace/comma-separated
+// text format, one point per line, '#' comments allowed. WritePoints
+// formats floats with strconv 'g' at full precision so a written file
+// reads back bit-identically — the quality auditor in the serving layer
+// depends on that round-trip to audit against the exact embedded points.
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpctree/internal/vec"
+)
+
+// ReadPoints loads a point file. Blank lines and '#' comments are
+// skipped, fields split on commas, spaces, or tabs, all rows must agree
+// on dimension, and exact duplicate points are removed (embedding
+// requires pairwise-distinct inputs).
+func ReadPoints(path string) ([]vec.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pts []vec.Point
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+		p := make(vec.Point, 0, len(fields))
+		for _, fstr := range fields {
+			v, err := strconv.ParseFloat(fstr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+			}
+			p = append(p, v)
+		}
+		if len(pts) > 0 && len(p) != len(pts[0]) {
+			return nil, fmt.Errorf("%s:%d: dimension %d != %d", path, line, len(p), len(pts[0]))
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("%s: no points", path)
+	}
+	return vec.Dedup(pts), nil
+}
+
+// WritePoints writes pts in the format ReadPoints accepts, one
+// space-separated point per line, floats at full round-trip precision.
+func WritePoints(path string, pts []vec.Point) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, p := range pts {
+		for j, v := range p {
+			if j > 0 {
+				w.WriteByte(' ')
+			}
+			w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

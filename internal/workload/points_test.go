@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestWriteReadPointsRoundTrip(t *testing.T) {
+	// Fractional coordinates exercise the full-precision float format:
+	// the quality auditor needs the read-back points bit-identical.
+	pts := GaussianClusters(3, 64, 5, 4, 17.25, 1<<10)
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	if err := WritePoints(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPoints(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pts, got) {
+		t.Fatalf("round trip not bit-identical: wrote %d points, read %d", len(pts), len(got))
+	}
+}
+
+func TestReadPointsFormats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pts.txt")
+	content := "# comment\n1, 2, 3\n\n4 5\t6\n1,2,3\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := ReadPoints(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Comma/space/tab splitting, comment and blank-line skipping, and
+	// dedup of the repeated (1,2,3) row.
+	if len(pts) != 2 || len(pts[0]) != 3 {
+		t.Fatalf("got %d points of dim %d, want 2 of dim 3", len(pts), len(pts[0]))
+	}
+}
+
+func TestReadPointsErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"ragged.txt": "1 2 3\n4 5\n",
+		"bad.txt":    "1 2 x\n",
+		"empty.txt":  "# only comments\n",
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadPoints(path); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	if _, err := ReadPoints(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file: expected error")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"mpctree/internal/mpcapps"
 	"mpctree/internal/mpcembed"
 	"mpctree/internal/obs"
+	"mpctree/internal/quality"
 	"mpctree/internal/resilient"
 	"mpctree/internal/vec"
 )
@@ -120,6 +121,13 @@ type MPCOptions struct {
 	// Trace enables per-round tracing on the cluster; the rows land in
 	// MPCInfo.RoundTrace (render with FormatRoundTrace).
 	Trace bool
+	// Quality, if non-nil, audits the final tree against the original
+	// points on a seeded pair sample and publishes quality_* series (mean
+	// and extreme distortion ratios, domination violations, per-scale
+	// separation counts) onto the collector's registry. Observational
+	// only: the output tree is bit-identical with or without it. Overrides
+	// Pipeline.Quality when non-nil.
+	Quality *QualityCollector
 }
 
 // MPCInfo reports the distributed run's accounting, including the
@@ -174,6 +182,9 @@ func EmbedMPC(pts []Point, opt MPCOptions) (*Tree, *MPCInfo, error) {
 	}
 	if opt.Span != nil {
 		popt.Span = opt.Span
+	}
+	if opt.Quality != nil {
+		popt.Quality = opt.Quality
 	}
 	tree, pinfo, err := core.EmbedPipeline(cluster, pts, popt)
 	m := cluster.Metrics()
@@ -300,6 +311,27 @@ type Span = obs.Span
 
 // NewSpan starts a root span with the given name.
 func NewSpan(name string) *Span { return obs.NewSpan(name) }
+
+// QualityConfig tunes the embedding-quality auditor: pair-sample size and
+// seed, worker fan-out, the Theorem-2 mean-distortion alarm threshold,
+// and the domination tolerance; see internal/quality.
+type QualityConfig = quality.Config
+
+// QualityReport is one audit's result: distortion-ratio summary over the
+// sampled pairs, domination/bound violation counts, and per-scale
+// separation statistics (the Lemma-1 observables).
+type QualityReport = quality.Report
+
+// QualityCollector publishes audit reports as quality_* series on a
+// metrics registry. Pass one via MPCOptions.Quality to audit a pipeline
+// run, or use quality.Audit directly for a one-off report.
+type QualityCollector = quality.Collector
+
+// NewQualityCollector registers the quality_* series on reg (optional
+// alternating label key/value pairs) and returns the collector.
+func NewQualityCollector(reg *MetricsRegistry, cfg QualityConfig, labelPairs ...string) *QualityCollector {
+	return quality.NewCollector(reg, cfg, labelPairs...)
+}
 
 // RetryOptions tunes the resilient execution driver enabled by
 // PipelineOptions.Resilient (retry budget, virtual backoff, resource
