@@ -166,7 +166,11 @@ func main() {
 		fmt.Printf("speedup %-47s %14.2fx (workers=1 vs workers=8, GOMAXPROCS=%d)\n", base, rep.Speedups[base], rep.GOMAXPROCS)
 	}
 
-	var regressions []string
+	type regression struct {
+		name string
+		msg  string
+	}
+	var regressions []regression
 	if base != nil {
 		old := map[string]Bench{}
 		for _, b := range base.Benchmarks {
@@ -178,9 +182,9 @@ func main() {
 				continue
 			}
 			if ratio := b.NsPerOp / o.NsPerOp; ratio > 1+*threshold {
-				regressions = append(regressions,
+				regressions = append(regressions, regression{b.Name,
 					fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.0f%% slower, threshold %.0f%%)",
-						b.Name, b.NsPerOp, o.NsPerOp, (ratio-1)*100, *threshold*100))
+						b.Name, b.NsPerOp, o.NsPerOp, (ratio-1)*100, *threshold*100)})
 			}
 		}
 	}
@@ -199,23 +203,54 @@ func main() {
 	}
 
 	if len(regressions) > 0 {
-		// A baseline recorded on different hardware is not comparable:
-		// worker-pool benchmarks shift with the core count, so a CPU-count
-		// mismatch downgrades the failure to a warning.
-		if base != nil && base.CPUs != 0 && base.CPUs != rep.CPUs {
-			fmt.Fprintf(os.Stderr, "benchdiff: WARNING: %d apparent regression(s), but baseline was recorded on %d CPUs and this machine has %d — not comparable, not failing:\n",
-				len(regressions), base.CPUs, rep.CPUs)
+		// A baseline recorded on different hardware is only partially
+		// comparable: benchmarks that fan work out across cores
+		// (/workers=N, N>1) shift with the core count and GOMAXPROCS, so
+		// a GENUINE mismatch in either downgrades those — and only those
+		// — to warnings. Serial benchmarks measure single-core work and
+		// keep gating regardless of the machine shape; downgrading them
+		// too would let any hardware change mask a real regression.
+		cpuMismatch := base != nil && base.CPUs != 0 &&
+			(base.CPUs != rep.CPUs || (base.GOMAXPROCS != 0 && base.GOMAXPROCS != rep.GOMAXPROCS))
+		var gating []regression
+		if cpuMismatch {
+			var waived []regression
 			for _, r := range regressions {
-				fmt.Fprintln(os.Stderr, "  ", r)
+				if cpuSensitive(r.name) {
+					waived = append(waived, r)
+				} else {
+					gating = append(gating, r)
+				}
 			}
-			return
+			if len(waived) > 0 {
+				fmt.Fprintf(os.Stderr, "benchdiff: WARNING: %d apparent regression(s) in parallel benchmarks, but baseline was recorded on %d CPUs / GOMAXPROCS %d and this machine has %d / %d — not comparable, not failing:\n",
+					len(waived), base.CPUs, base.GOMAXPROCS, rep.CPUs, rep.GOMAXPROCS)
+				for _, r := range waived {
+					fmt.Fprintln(os.Stderr, "  ", r.msg)
+				}
+			}
+		} else {
+			gating = regressions
 		}
-		fmt.Fprintln(os.Stderr, "benchdiff: REGRESSIONS:")
-		for _, r := range regressions {
-			fmt.Fprintln(os.Stderr, "  ", r)
+		if len(gating) > 0 {
+			fmt.Fprintln(os.Stderr, "benchdiff: REGRESSIONS:")
+			for _, r := range gating {
+				fmt.Fprintln(os.Stderr, "  ", r.msg)
+			}
+			os.Exit(1)
 		}
-		os.Exit(1)
 	}
+}
+
+// cpuSensitive reports whether a benchmark's result depends on the
+// machine's core count: the /workers=N variants with N > 1 fan out
+// across cores; everything else is serial per-core work.
+func cpuSensitive(name string) bool {
+	i := strings.Index(name, "/workers=")
+	if i < 0 {
+		return false
+	}
+	return strings.TrimPrefix(name[i:], "/workers=") != "1"
 }
 
 // discoverBaseline picks the most recent committed baseline in dir: the

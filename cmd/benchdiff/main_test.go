@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestCPUSensitive(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"BenchmarkEmbedPipeline/workers=8", true},
+		{"BenchmarkEmbedPipeline/workers=2", true},
+		{"BenchmarkEmbedPipeline/workers=1", false},
+		{"BenchmarkFWHT1024", false},
+		{"BenchmarkDistFWHT", false},
+		{"BenchmarkNoSuffixworkers=8", false},
+	}
+	for _, c := range cases {
+		if got := cpuSensitive(c.name); got != c.want {
+			t.Errorf("cpuSensitive(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	bs := []Bench{
+		{Name: "BenchmarkX/workers=1", NsPerOp: 800},
+		{Name: "BenchmarkX/workers=8", NsPerOp: 200},
+		{Name: "BenchmarkY/workers=1", NsPerOp: 100}, // no workers=8 twin
+		{Name: "BenchmarkSerial", NsPerOp: 50},
+	}
+	got := speedups(bs)
+	if len(got) != 1 || got["BenchmarkX"] != 4 {
+		t.Fatalf("speedups = %v, want map[BenchmarkX:4]", got)
+	}
+}

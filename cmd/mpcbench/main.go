@@ -18,15 +18,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mpctree/internal/experiments"
 	"mpctree/internal/mpc"
+	"mpctree/internal/mpcnet"
 	"mpctree/internal/obs"
 	"mpctree/internal/par"
 	"mpctree/internal/quality"
 	"mpctree/internal/resilient"
 )
+
+// splitAddrs splits a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
 
 func main() {
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
@@ -37,6 +50,10 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 0, "fault-schedule seed (0 = derive from -seed)")
 	maxRetries := flag.Int("max-retries", 0, "per-stage retry budget for E16-Chaos (0 = default)")
 	workers := flag.Int("workers", 0, "data-parallel workers for pure compute; results are identical for any value (0 = GOMAXPROCS)")
+	transport := flag.String("transport", "sim", "MPC record plane: sim | tcp")
+	transportAddrs := flag.String("transport-addrs", "", "comma-separated worker addresses (with -transport=tcp)")
+	transportSpawn := flag.Int("transport-spawn", 0, "spawn this many local mpcworker processes instead of using -transport-addrs (with -transport=tcp)")
+	workerBin := flag.String("transport-worker-bin", "mpcworker", "worker binary for -transport-spawn")
 	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the experiments run (e.g. :9090)")
 	trace := flag.Bool("trace", false, "record per-round traces on every simulated cluster and print them after each experiment")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
@@ -66,6 +83,43 @@ func main() {
 		ids = []string{*exp}
 	}
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers, Faults: *faults, FaultSeed: *faultSeed, MaxRetries: *maxRetries}
+
+	// A TCP record plane: one worker fleet serves every experiment
+	// cluster; each cluster dials a fresh coordinator transport and
+	// resets the fleet's stores and sequence epoch before loading data.
+	switch *transport {
+	case "sim":
+	case "tcp":
+		addrs := splitAddrs(*transportAddrs)
+		if *transportSpawn > 0 {
+			procs, err := mpcnet.SpawnWorkers(*workerBin, *transportSpawn, mpcnet.SpawnOptions{Stderr: true})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpcbench: spawn workers:", err)
+				os.Exit(2)
+			}
+			defer mpcnet.KillAll(procs)
+			addrs = mpcnet.Addrs(procs)
+			logger.Info("transport_spawned", "workers", len(procs), "addrs", strings.Join(addrs, ","))
+		}
+		if len(addrs) == 0 {
+			fmt.Fprintln(os.Stderr, "mpcbench: -transport=tcp needs -transport-addrs or -transport-spawn")
+			os.Exit(2)
+		}
+		cfg.NewTransport = func(mcfg mpc.Config) mpc.Transport {
+			tr, err := mpcnet.Dial(mpcnet.Config{Addrs: addrs, Machines: mcfg.Machines, Retry: mpcnet.RetryPolicy{Seed: *seed}})
+			if err == nil {
+				err = tr.Reset()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpcbench: dial worker fleet:", err)
+				os.Exit(2)
+			}
+			return tr
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "mpcbench: unknown -transport %q (sim | tcp)\n", *transport)
+		os.Exit(2)
+	}
 
 	// Observability: instrument every cluster the experiments create (the
 	// OnCluster hook) plus the shared par/resilient meters, and optionally

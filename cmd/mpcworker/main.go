@@ -1,0 +1,43 @@
+// mpcworker is the remote half of the TCP record plane: a record-store
+// server hosting logical MPC machine stores for a coordinator
+// (treembed/mpcbench with -transport=tcp). It binds the requested
+// address, prints "MPCNET LISTEN <addr>" on stdout so spawners can use
+// ephemeral ports, and serves until killed.
+//
+//	mpcworker -listen 127.0.0.1:0
+//	mpcworker -listen 127.0.0.1:7701 -die-after 40   # crash drill
+//
+// -die-after N makes the worker SIGKILL itself upon processing its N-th
+// op, before responding — the deterministic mid-round crash CI's
+// transport-smoke job uses to prove checkpointed replay recovers
+// bit-identically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mpctree/internal/mpcnet"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to bind (:0 picks an ephemeral port)")
+	dieAfter := flag.Int("die-after", 0, "SIGKILL self after processing this many ops (0 = never)")
+	verbose := flag.Bool("v", false, "log lifecycle events to stderr")
+	flag.Parse()
+
+	w := mpcnet.NewWorker()
+	w.KillProcess = true // a tripped die-after is a real crash, not a polite shutdown
+	if *dieAfter > 0 {
+		w.SetDieAfter(*dieAfter)
+	}
+	if *verbose {
+		w.Logf = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds).Printf
+	}
+	if err := w.ListenAndServe(*listen, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "mpcworker: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -22,10 +22,12 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"mpctree"
 	"mpctree/internal/core"
+	"mpctree/internal/mpcnet"
 	"mpctree/internal/obs"
 	"mpctree/internal/par"
 	"mpctree/internal/quality"
@@ -51,6 +53,11 @@ func main() {
 		useMPC   = flag.Bool("mpc", false, "run the full MPC pipeline (FJLT + Algorithm 2)")
 		machines = flag.Int("machines", 8, "simulated machines (with -mpc)")
 		workers  = flag.Int("workers", 0, "data-parallel workers for pure compute; results are identical for any value (0 = GOMAXPROCS)")
+
+		transport      = flag.String("transport", "sim", "MPC record plane (with -mpc): sim | tcp")
+		transportAddrs = flag.String("transport-addrs", "", "comma-separated worker addresses (with -transport=tcp)")
+		transportSpawn = flag.Int("transport-spawn", 0, "spawn this many local mpcworker processes instead of using -transport-addrs (with -transport=tcp)")
+		workerBin      = flag.String("transport-worker-bin", "mpcworker", "worker binary for -transport-spawn")
 
 		faults     = flag.Float64("faults", 0, "per-round fault-injection probability per class (with -mpc); enables resilient execution")
 		faultSeed  = flag.Uint64("fault-seed", 0, "fault-schedule seed (0 = derive from -seed)")
@@ -99,6 +106,38 @@ func main() {
 	if *useMPC {
 		mopt := mpctree.MPCOptions{Machines: *machines, CapWords: 1 << 22, Seed: *seed, Workers: *workers, Trace: *trace}
 
+		// A real (TCP) record plane: workers are separate processes, so
+		// resilient execution is forced on — worker death must recover by
+		// checkpointed replay, not fail the run.
+		var netTransport *mpcnet.Transport
+		switch *transport {
+		case "sim":
+		case "tcp":
+			addrs := splitAddrs(*transportAddrs)
+			if *transportSpawn > 0 {
+				procs, err := mpcnet.SpawnWorkers(*workerBin, *transportSpawn, mpcnet.SpawnOptions{Stderr: true})
+				if err != nil {
+					fail(fmt.Errorf("spawn workers: %w", err))
+				}
+				defer mpcnet.KillAll(procs)
+				addrs = mpcnet.Addrs(procs)
+				fmt.Printf("transport: spawned %d workers (%s)\n", len(procs), strings.Join(addrs, ", "))
+			}
+			if len(addrs) == 0 {
+				fail(fmt.Errorf("-transport=tcp needs -transport-addrs or -transport-spawn"))
+			}
+			tr, err := mpcnet.Dial(mpcnet.Config{Addrs: addrs, Machines: *machines, Retry: mpcnet.RetryPolicy{Seed: *seed}})
+			if err != nil {
+				fail(err)
+			}
+			defer tr.Close()
+			netTransport = tr
+			mopt.Transport = tr
+			mopt.Pipeline.Resilient = true
+		default:
+			fail(fmt.Errorf("unknown -transport %q (sim | tcp)", *transport))
+		}
+
 		// Observability: a registry + root span feed the debug server (if
 		// any). Everything here is write-only instrumentation — the tree is
 		// bit-identical with or without it.
@@ -146,6 +185,15 @@ func main() {
 		fmt.Printf("tree: %d nodes, height %d\n", tree.NumNodes(), tree.Height())
 		fmt.Printf("MPC: %d machines, %d rounds, peak local %d words, total space %d words, comm %d words\n",
 			info.Machines, info.Metrics.Rounds, info.Metrics.MaxLocalWords, info.Metrics.TotalSpace, info.Metrics.CommWords)
+		if netTransport != nil {
+			st := netTransport.Stats()
+			fmt.Printf("transport: tcp, %d ops, %d retries, %d redials, %d dead workers, %d machines remapped, %d live workers, %d B sent, %d B received\n",
+				st.Ops, st.Retries, st.Redials, st.DeadWorkers, st.Remapped, netTransport.LiveWorkers(), st.BytesSent, st.BytesReceived)
+			if info.Recovery.Restores > 0 {
+				fmt.Printf("recovery: %d attempts, %d restores, %d rounds rolled back, %d ckpt words\n",
+					info.Attempts, info.Recovery.Restores, info.Recovery.RolledBackRounds, info.Recovery.CheckpointWords)
+			}
+		}
 		if info.UsedFJLT {
 			fmt.Printf("FJLT: d %d → k %d (ξ-style reduction engaged)\n", len(pts[0]), info.FJLTParams.K)
 		}
@@ -306,6 +354,17 @@ func loadOrGenerate(in, gen string, n, d, delta int, seed uint64) ([]vec.Point, 
 	default:
 		return nil, fmt.Errorf("unknown workload %q", gen)
 	}
+}
+
+// splitAddrs splits a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
 }
 
 func fail(err error) {

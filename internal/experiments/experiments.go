@@ -73,6 +73,16 @@ type Config struct {
 	// Observational hooks only: the hook must not change cluster behavior.
 	OnCluster func(*mpc.Cluster)
 
+	// NewTransport, if set, supplies the record plane backing every
+	// cluster an experiment creates (cmd/mpcbench -transport=tcp routes a
+	// worker fleet in through here). The returned transport must back
+	// exactly cfg.Machines machines and start with empty stores; the
+	// factory owns error handling — experiments treat cluster creation as
+	// infallible. Nil keeps the in-process simulator. Results are
+	// bit-identical across backends; only the meters and the wall clock
+	// differ.
+	NewTransport func(cfg mpc.Config) mpc.Transport
+
 	// Quality, if non-nil, receives the audit reports experiments produce
 	// (E17 publishes through it) so a -http mpcbench run exposes
 	// quality_* series live. Observational only.
@@ -83,7 +93,12 @@ type Config struct {
 // it. Experiments must create clusters through this method so -http /
 // -trace instrumentation reaches every run.
 func (c Config) NewCluster(cfg mpc.Config) *mpc.Cluster {
-	cl := mpc.New(cfg)
+	var cl *mpc.Cluster
+	if c.NewTransport != nil {
+		cl = mpc.NewWithTransport(cfg, c.NewTransport(cfg))
+	} else {
+		cl = mpc.New(cfg)
+	}
 	if c.OnCluster != nil {
 		c.OnCluster(cl)
 	}

@@ -4,6 +4,15 @@
 // cluster. The word cost of snapshotting and restoring is metered
 // separately (RecoveryStats) so experiments can report recovery overhead
 // without it contaminating the model's own cost measures.
+//
+// Snapshots live on the DRIVER side, not on the machines: a checkpoint
+// deep-copies every store out of the transport, so it survives the death
+// of the processes hosting them. Restore pushes the snapshot back through
+// the transport — after a remote worker died and its logical machines
+// were remapped onto survivors, this is exactly the step that heals the
+// cluster. Checkpoints also serialize (codec.go: MarshalBinary /
+// UnmarshalCheckpoint) for drivers that persist them across their own
+// process boundary.
 package mpc
 
 // Checkpoint is an immutable snapshot of a cluster's state. It deep-copies
@@ -19,6 +28,9 @@ type Checkpoint struct {
 // Words is the snapshot's size in 64-bit words (the recovery overhead a
 // real framework would pay in storage/IO to persist it).
 func (cp *Checkpoint) Words() int { return cp.words }
+
+// Machines is the number of machine stores the snapshot covers.
+func (cp *Checkpoint) Machines() int { return len(cp.stores) }
 
 // RecoveryStats meters fault-recovery overhead. Unlike Metrics it is NOT
 // rolled back by Restore — it exists precisely to account for work that
@@ -58,11 +70,28 @@ func deepCopyStores(stores [][]Record) ([][]Record, int) {
 	return out, words
 }
 
+// readStores pulls every machine's store out of the transport. A
+// transport failure marks the cluster failed and yields nil stores for
+// the unreachable machines — Checkpoint's documented caveat about
+// snapshotting failed clusters applies.
+func (c *Cluster) readStores() [][]Record {
+	stores := make([][]Record, c.cfg.Machines)
+	for m := 0; m < c.cfg.Machines; m++ {
+		st, err := c.t.Read(m)
+		if err != nil {
+			c.fail(err)
+			continue
+		}
+		stores[m] = st
+	}
+	return stores
+}
+
 // Checkpoint snapshots the stores, metrics, and trace. It may be taken on
 // a healthy or a failed cluster (a failed cluster's snapshot captures the
 // corrupted state — drivers checkpoint BEFORE risky stages, not after).
 func (c *Cluster) Checkpoint() *Checkpoint {
-	stores, words := deepCopyStores(c.stores)
+	stores, words := deepCopyStores(c.readStores())
 	cp := &Checkpoint{
 		stores:  stores,
 		metrics: c.m,
@@ -87,6 +116,12 @@ func (c *Cluster) Checkpoint() *Checkpoint {
 // the cluster has fewer machines than the checkpoint (clusters may Grow
 // between checkpoint and restore, never shrink); machines beyond the
 // snapshot are left empty.
+//
+// Restoring is also the transport-level healing step: every store is
+// rewritten through the transport, so logical machines that were remapped
+// onto surviving workers after a host died receive their state back. If
+// the transport cannot accept the restore (no survivors left), the
+// failure stays latched instead of being cleared.
 func (c *Cluster) Restore(cp *Checkpoint) {
 	if len(cp.stores) > c.cfg.Machines {
 		panic("mpc: restore into a smaller cluster")
@@ -101,11 +136,19 @@ func (c *Cluster) Restore(cp *Checkpoint) {
 		rolledComm = w
 	}
 	stores, words := deepCopyStores(cp.stores)
-	c.stores = make([][]Record, c.cfg.Machines)
-	copy(c.stores, stores)
+	c.failed = nil
+	for m := 0; m < c.cfg.Machines; m++ {
+		var recs []Record
+		if m < len(stores) {
+			recs = stores[m]
+		}
+		if err := c.t.Write(m, recs); err != nil {
+			c.fail(err)
+			break
+		}
+	}
 	c.m = cp.metrics
 	c.roundStats = append([]RoundStat(nil), cp.roundStats...)
-	c.failed = nil
 	c.recovery.Restores++
 	c.recovery.RestoredWords += words
 	if c.obs != nil {
@@ -132,13 +175,17 @@ func (c *Cluster) RaiseCap(capWords int) {
 // Grow adds machines with empty stores (the other escalation lever).
 // Algorithms in this repository are machine-count independent, so growing
 // between stages preserves their output; growing mid-stage is the
-// driver's responsibility to avoid.
+// driver's responsibility to avoid. A transport that cannot grow latches
+// the failure.
 func (c *Cluster) Grow(extra int) {
 	if extra <= 0 {
 		return
 	}
+	if err := c.t.Grow(extra); err != nil {
+		c.fail(err)
+		return
+	}
 	c.cfg.Machines += extra
-	c.stores = append(c.stores, make([][]Record, extra)...)
 	if c.obs != nil {
 		c.obs.syncShape(c)
 	}

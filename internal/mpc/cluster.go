@@ -24,6 +24,13 @@
 // Loading input (Distribute) and reading output (Collect) model the
 // initial data placement and final result readout; they are not rounds.
 //
+// Record storage and delivery flow through a pluggable Transport
+// (transport.go): the default in-process backend keeps the historical
+// simulator semantics bit for bit, while internal/mpcnet backs the same
+// Cluster with machines in separate OS processes over TCP. Transport
+// failures surface as ErrTransport-class errors and are recoverable the
+// same way injected faults are: restore a checkpoint and replay.
+//
 // Failures: any model violation, machine panic, or injected fault (see
 // fault.go) marks the cluster failed; the failure is sticky until the
 // driver rolls back to a Checkpoint (checkpoint.go). docs/MODEL.md
@@ -96,7 +103,7 @@ func FullyScalableCap(n, d int, eps float64, c float64) int {
 // internal.
 type Cluster struct {
 	cfg    Config
-	stores [][]Record
+	t      Transport
 	m      Metrics
 	failed error
 
@@ -115,7 +122,8 @@ var (
 	ErrFailed      = errors.New("mpc: cluster previously failed")
 )
 
-// New creates a cluster with empty machine stores.
+// New creates a cluster over the in-process reference transport with
+// empty machine stores.
 func New(cfg Config) *Cluster {
 	if cfg.Machines < 1 {
 		panic("mpc: need at least one machine")
@@ -123,7 +131,24 @@ func New(cfg Config) *Cluster {
 	if cfg.CapWords < 1 {
 		panic("mpc: need positive local memory")
 	}
-	return &Cluster{cfg: cfg, stores: make([][]Record, cfg.Machines)}
+	return &Cluster{cfg: cfg, t: NewLocalTransport(cfg.Machines)}
+}
+
+// NewWithTransport creates a cluster whose record plane is t — the
+// in-process reference backend (NewLocalTransport) or a remote one
+// (internal/mpcnet). The transport's logical machine count must match
+// cfg.Machines: the algorithms' output depends on it.
+func NewWithTransport(cfg Config, t Transport) *Cluster {
+	if cfg.Machines < 1 {
+		panic("mpc: need at least one machine")
+	}
+	if cfg.CapWords < 1 {
+		panic("mpc: need positive local memory")
+	}
+	if t.Machines() != cfg.Machines {
+		panic(fmt.Sprintf("mpc: transport backs %d machines, config wants %d", t.Machines(), cfg.Machines))
+	}
+	return &Cluster{cfg: cfg, t: t}
 }
 
 // Machines returns the machine count.
@@ -131,6 +156,9 @@ func (c *Cluster) Machines() int { return c.cfg.Machines }
 
 // CapWords returns the per-machine local memory cap.
 func (c *Cluster) CapWords() int { return c.cfg.CapWords }
+
+// Transport returns the record plane backing this cluster.
+func (c *Cluster) Transport() Transport { return c.t }
 
 // Metrics returns the cost measures accumulated so far.
 func (c *Cluster) Metrics() Metrics { return c.m }
@@ -140,12 +168,30 @@ func (c *Cluster) Err() error { return c.failed }
 
 // Store exposes machine m's resident records for inspection (driver-side;
 // treat as read-only). Out-of-range m returns nil — the inspection
-// counterpart of the messaging paths' ErrBadMachine discipline.
+// counterpart of the messaging paths' ErrBadMachine discipline. A
+// transport failure also returns nil and marks the cluster failed; use
+// StoreErr when the distinction matters.
 func (c *Cluster) Store(m int) []Record {
-	if m < 0 || m >= len(c.stores) {
+	recs, err := c.StoreErr(m)
+	if err != nil {
 		return nil
 	}
-	return c.stores[m]
+	return recs
+}
+
+// StoreErr is Store with the transport error surfaced: a remote backend
+// that cannot reach machine m's host reports why instead of reading as an
+// empty store. The failure is latched on the cluster (sticky) so later
+// operations fail fast.
+func (c *Cluster) StoreErr(m int) ([]Record, error) {
+	if m < 0 || m >= c.cfg.Machines {
+		return nil, nil
+	}
+	recs, err := c.t.Read(m)
+	if err != nil {
+		return nil, c.fail(err)
+	}
+	return recs, nil
 }
 
 func (c *Cluster) fail(err error) error {
@@ -158,10 +204,14 @@ func (c *Cluster) fail(err error) error {
 // checkSpace recomputes residency metrics after stores changed and
 // returns a (not yet sticky) ErrLocalMemory error if any machine exceeds
 // capWords — which a fault injection may have temporarily reduced.
+// Transport failures during the check are sticky immediately.
 func (c *Cluster) checkSpace(capWords int) error {
 	total := 0
-	for m, st := range c.stores {
-		w := WordsOf(st)
+	for m := 0; m < c.cfg.Machines; m++ {
+		w, err := c.t.Words(m)
+		if err != nil {
+			return c.fail(err)
+		}
 		total += w
 		if w > c.m.MaxLocalWords {
 			c.m.MaxLocalWords = w
@@ -195,6 +245,7 @@ func (c *Cluster) Distribute(recs []Record) error {
 		return ErrFailed
 	}
 	target := (WordsOf(recs) + c.cfg.Machines - 1) / c.cfg.Machines
+	chunks := make([][]Record, c.cfg.Machines)
 	m, w := 0, 0
 	for _, r := range recs {
 		rw := r.Words()
@@ -202,8 +253,16 @@ func (c *Cluster) Distribute(recs []Record) error {
 			m++
 			w = 0
 		}
-		c.stores[m] = append(c.stores[m], r)
+		chunks[m] = append(chunks[m], r)
 		w += rw
+	}
+	for m, chunk := range chunks {
+		if len(chunk) == 0 {
+			continue
+		}
+		if err := c.t.Append(m, chunk); err != nil {
+			return c.fail(err)
+		}
 	}
 	return c.refreshSpace()
 }
@@ -213,12 +272,21 @@ func (c *Cluster) DistributeBy(recs []Record, to func(i int, rec Record) int) er
 	if c.failed != nil {
 		return ErrFailed
 	}
+	chunks := make([][]Record, c.cfg.Machines)
 	for i, r := range recs {
 		m := to(i, r)
 		if m < 0 || m >= c.cfg.Machines {
 			return c.fail(fmt.Errorf("%w: %d", ErrBadMachine, m))
 		}
-		c.stores[m] = append(c.stores[m], r)
+		chunks[m] = append(chunks[m], r)
+	}
+	for m, chunk := range chunks {
+		if len(chunk) == 0 {
+			continue
+		}
+		if err := c.t.Append(m, chunk); err != nil {
+			return c.fail(err)
+		}
 	}
 	return c.refreshSpace()
 }
@@ -232,7 +300,11 @@ func (c *Cluster) Collect() ([]Record, error) {
 		return nil, fmt.Errorf("%w: %v", ErrFailed, c.failed)
 	}
 	var out []Record
-	for _, st := range c.stores {
+	for m := 0; m < c.cfg.Machines; m++ {
+		st, err := c.t.Read(m)
+		if err != nil {
+			return nil, c.fail(err)
+		}
 		out = append(out, st...)
 	}
 	return out, nil
@@ -251,7 +323,9 @@ type RoundFunc func(m int, local []Record, emit Emit) (keep []Record)
 // and per-machine residency after delivery ≤ cap. If a FaultPlan is
 // installed, the round boundary may inject a fault (fault.go); injected
 // faults surface as ErrInjected-class errors and mark the cluster failed
-// until the driver restores a checkpoint.
+// until the driver restores a checkpoint. Transport failures — a remote
+// machine's host gone mid-round — surface as ErrTransport-class errors,
+// recoverable the same way.
 func (c *Cluster) Round(fn RoundFunc) error {
 	if c.failed != nil {
 		return ErrFailed
@@ -275,6 +349,15 @@ func (c *Cluster) Round(fn RoundFunc) error {
 	}
 
 	M := c.cfg.Machines
+	locals := make([][]Record, M)
+	for m := 0; m < M; m++ {
+		st, err := c.t.Read(m)
+		if err != nil {
+			return c.fail(err)
+		}
+		locals[m] = st
+	}
+
 	type msg struct {
 		to  int
 		rec Record
@@ -303,7 +386,7 @@ func (c *Cluster) Round(fn RoundFunc) error {
 				}
 				outs[m] = append(outs[m], msg{to: to, rec: rec})
 			}
-			keeps[m] = fn(m, c.stores[m], emit)
+			keeps[m] = fn(m, locals[m], emit)
 		}(m)
 	}
 	wg.Wait()
@@ -377,26 +460,39 @@ func (c *Cluster) Round(fn RoundFunc) error {
 		}
 	}
 
-	// Deliver in sender order for determinism.
+	// Deliver: install each machine's kept records, then append routed
+	// messages in sender order for determinism (destination d receives
+	// all of sender 0's messages in emit order, then sender 1's, …).
 	for m := 0; m < M; m++ {
-		c.stores[m] = keeps[m]
+		if err := c.t.Write(m, keeps[m]); err != nil {
+			return c.fail(err)
+		}
 	}
+	deliver := make([][]Record, M)
 	for m := 0; m < M; m++ {
 		for _, ms := range outs[m] {
-			c.stores[ms.to] = append(c.stores[ms.to], ms.rec)
+			deliver[ms.to] = append(deliver[ms.to], ms.rec)
+		}
+	}
+	for m := 0; m < M; m++ {
+		if len(deliver[m]) == 0 {
+			continue
+		}
+		if err := c.t.Append(m, deliver[m]); err != nil {
+			return c.fail(err)
 		}
 	}
 	c.m.Rounds++
 	err := c.checkSpace(effCap)
-	if err != nil && pressured {
+	if err != nil && pressured && !errors.Is(err, ErrTransport) {
 		err = injectedPressureErr(err, inj.tick)
 	}
 	if err != nil {
 		err = c.fail(err)
 	}
 	if c.trace {
-		for _, st := range c.stores {
-			if w := WordsOf(st); w > stat.MaxResidency {
+		for m := 0; m < M; m++ {
+			if w, werr := c.t.Words(m); werr == nil && w > stat.MaxResidency {
 				stat.MaxResidency = w
 			}
 		}
@@ -422,6 +518,15 @@ func (c *Cluster) LocalMap(fn func(m int, local []Record) []Record) error {
 		return ErrFailed
 	}
 	M := c.cfg.Machines
+	locals := make([][]Record, M)
+	for m := 0; m < M; m++ {
+		st, err := c.t.Read(m)
+		if err != nil {
+			return c.fail(err)
+		}
+		locals[m] = st
+	}
+	outs := make([][]Record, M)
 	errs := make([]error, M)
 	var wg sync.WaitGroup
 	wg.Add(M)
@@ -433,12 +538,17 @@ func (c *Cluster) LocalMap(fn func(m int, local []Record) []Record) error {
 					errs[m] = fmt.Errorf("mpc: machine %d panicked: %v", m, p)
 				}
 			}()
-			c.stores[m] = fn(m, c.stores[m])
+			outs[m] = fn(m, locals[m])
 		}(m)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			return c.fail(err)
+		}
+	}
+	for m := 0; m < M; m++ {
+		if err := c.t.Write(m, outs[m]); err != nil {
 			return c.fail(err)
 		}
 	}

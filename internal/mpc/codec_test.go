@@ -1,0 +1,239 @@
+package mpc
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{},
+		{Key: "k", Tag: 7},
+		{Key: "point/3", Tag: 1, Ints: []int64{-1, 0, math.MaxInt64, math.MinInt64}},
+		{Key: "", Tag: 255, Data: []float64{0, -0.0, 1.5, math.Inf(1), math.Inf(-1), math.SmallestNonzeroFloat64}},
+		{Key: string([]byte{0, 1, 2, 0xff}), Ints: []int64{42}, Data: []float64{-3.25}},
+	}
+}
+
+// recordsEquivalent compares records treating nil and empty slices as
+// equal (decode leaves absent fields nil) and NaNs as equal bitwise.
+func recordsEquivalent(a, b Record) bool {
+	if a.Key != b.Key || a.Tag != b.Tag || len(a.Ints) != len(b.Ints) || len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Ints {
+		if a.Ints[i] != b.Ints[i] {
+			return false
+		}
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for i, r := range sampleRecords() {
+		data, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("record %d: marshal: %v", i, err)
+		}
+		var got Record
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("record %d: unmarshal: %v", i, err)
+		}
+		if !recordsEquivalent(r, got) {
+			t.Fatalf("record %d: round-trip %+v -> %+v", i, r, got)
+		}
+	}
+	// NaN payloads survive bit-exactly.
+	nan := Record{Key: "nan", Data: []float64{math.NaN()}}
+	data, _ := nan.MarshalBinary()
+	var got Record
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatalf("nan unmarshal: %v", err)
+	}
+	if math.Float64bits(got.Data[0]) != math.Float64bits(nan.Data[0]) {
+		t.Fatalf("NaN bits changed: %016x -> %016x", math.Float64bits(nan.Data[0]), math.Float64bits(got.Data[0]))
+	}
+}
+
+func TestRecordsRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	got, err := DecodeRecords(EncodeRecords(recs))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !recordsEquivalent(recs[i], got[i]) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, recs[i], got[i])
+		}
+	}
+	// Empty slice round-trips to empty.
+	if got, err := DecodeRecords(EncodeRecords(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty slice: %v, %v", got, err)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid := EncodeRecords(sampleRecords())
+	cases := map[string][]byte{
+		"empty":            {},
+		"truncated header": valid[:1],
+		"truncated middle": valid[:len(valid)/2],
+		"truncated by one": valid[:len(valid)-1],
+		"trailing garbage": append(append([]byte{}, valid...), 0x00),
+		// Count says 1000 records but only a few bytes follow: rejected
+		// before any large allocation.
+		"oversized count":       append([]byte{0xe8, 0x07}, 1, 'x', 0, 0, 0),
+		"oversized key length":  {1, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"oversized int count":   {1, 0, 0, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"oversized data count":  {1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"missing tag":           {1, 1, 'k'},
+		"varint all high bits":  bytes.Repeat([]byte{0x80}, 12),
+		"checkpoint bad magic":  {'M', 'P', 'X', 'K', 1},
+		"checkpoint bad stores": {'M', 'P', 'C', 'K', 1, 0xff, 0xff, 0x0f},
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if name == "checkpoint bad magic" || name == "checkpoint bad stores" {
+				if _, err := UnmarshalCheckpoint(data); !errors.Is(err, ErrCodec) {
+					t.Fatalf("accepted malformed checkpoint (err %v)", err)
+				}
+				return
+			}
+			if _, err := DecodeRecords(data); !errors.Is(err, ErrCodec) {
+				t.Fatalf("accepted malformed payload (err %v)", err)
+			}
+		})
+	}
+}
+
+// TestCheckpointBinaryRoundTrip runs a real cluster, snapshots it,
+// crosses the binary encoding, and restores into a FRESH cluster — the
+// persistence path a driver uses to carry recovery state across its own
+// process boundary.
+func TestCheckpointBinaryRoundTrip(t *testing.T) {
+	cfg := Config{Machines: 4, CapWords: 1 << 16}
+	c := New(cfg)
+	c.EnableTrace()
+	var recs []Record
+	for i := 0; i < 20; i++ {
+		recs = append(recs, Record{Key: string(rune('a' + i)), Tag: uint8(i), Ints: []int64{int64(i)}, Data: []float64{float64(i) / 3}})
+	}
+	if err := c.Distribute(recs); err != nil {
+		t.Fatalf("distribute: %v", err)
+	}
+	if err := c.ShuffleByKey(); err != nil {
+		t.Fatalf("shuffle: %v", err)
+	}
+	cp := c.Checkpoint()
+
+	data, err := cp.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	decoded, err := UnmarshalCheckpoint(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if decoded.Words() != cp.Words() || decoded.Machines() != cp.Machines() {
+		t.Fatalf("decoded shape %d/%d, want %d/%d", decoded.Words(), decoded.Machines(), cp.Words(), cp.Machines())
+	}
+
+	fresh := New(cfg)
+	fresh.EnableTrace()
+	fresh.Restore(decoded)
+	if m1, m2 := c.Metrics(), fresh.Metrics(); m1 != m2 {
+		t.Fatalf("metrics differ after restore-from-bytes: %+v vs %+v", m1, m2)
+	}
+	if tr1, tr2 := c.Trace(), fresh.Trace(); !reflect.DeepEqual(tr1, tr2) {
+		t.Fatalf("round traces differ after restore-from-bytes")
+	}
+	want, err := c.Collect()
+	if err != nil {
+		t.Fatalf("collect source: %v", err)
+	}
+	got, err := fresh.Collect()
+	if err != nil {
+		t.Fatalf("collect restored: %v", err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("restored cluster holds %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !recordsEquivalent(want[i], got[i]) {
+			t.Fatalf("record %d differs after restore-from-bytes: %+v vs %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// FuzzRecordCodec throws mutated encodings at the decoder: it must never
+// panic, never allocate absurdly, and on success re-encode to bytes that
+// decode to the same records (decode∘encode is idempotent).
+func FuzzRecordCodec(f *testing.F) {
+	f.Add(EncodeRecords(nil))
+	f.Add(EncodeRecords(sampleRecords()))
+	f.Add(EncodeRecords([]Record{{Key: "seed", Ints: []int64{1, 2, 3}}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add(bytes.Repeat([]byte{0x80}, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeRecords(data)
+		if err != nil {
+			if !errors.Is(err, ErrCodec) {
+				t.Fatalf("non-codec error class: %v", err)
+			}
+			return
+		}
+		// Successful decodes must round-trip stably.
+		re := EncodeRecords(recs)
+		recs2, err := DecodeRecords(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded payload failed: %v", err)
+		}
+		if len(recs) != len(recs2) {
+			t.Fatalf("re-decode count %d, want %d", len(recs2), len(recs))
+		}
+		for i := range recs {
+			if !recordsEquivalent(recs[i], recs2[i]) {
+				t.Fatalf("record %d unstable across re-encode", i)
+			}
+		}
+	})
+}
+
+// FuzzCheckpointCodec does the same for the checkpoint container.
+func FuzzCheckpointCodec(f *testing.F) {
+	c := New(Config{Machines: 2, CapWords: 1 << 12})
+	_ = c.Distribute([]Record{{Key: "a", Ints: []int64{1}}, {Key: "b", Data: []float64{2}}})
+	cp := c.Checkpoint()
+	seed, _ := cp.MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte("MPCK"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := UnmarshalCheckpoint(data)
+		if err != nil {
+			if !errors.Is(err, ErrCodec) {
+				t.Fatalf("non-codec error class: %v", err)
+			}
+			return
+		}
+		re, err := cp.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of decoded checkpoint: %v", err)
+		}
+		if _, err := UnmarshalCheckpoint(re); err != nil {
+			t.Fatalf("re-decode of re-marshaled checkpoint: %v", err)
+		}
+	})
+}

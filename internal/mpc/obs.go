@@ -56,28 +56,38 @@ type obsSink struct {
 //
 // Registration is idempotent, so several clusters instrumented on the
 // same registry share series — the fleet view a real deployment exports.
+//
+// Clusters on a non-default transport label every series with
+// backend=<transport name> (e.g. backend="tcp"), so a dashboard can split
+// simulated from real-network cost. The reference backend stays
+// unlabeled: its series names are the stable contract the existing
+// obscheck gates scrape.
 func (c *Cluster) Instrument(reg *obs.Registry) {
+	var lbl []string
+	if name := c.t.Name(); name != "sim" {
+		lbl = []string{"backend", name}
+	}
 	s := &obsSink{
-		rounds:    reg.Counter("mpc_rounds_total", "MPC communication rounds executed, including rounds later rolled back by recovery."),
-		commWords: reg.Counter("mpc_comm_words_total", "Words sent over all rounds, including traffic later rolled back."),
-		roundSent: reg.Histogram("mpc_round_sent_words", "Per-round total send volume in words.", obs.DefaultWordBuckets()),
+		rounds:    reg.Counter("mpc_rounds_total", "MPC communication rounds executed, including rounds later rolled back by recovery.", lbl...),
+		commWords: reg.Counter("mpc_comm_words_total", "Words sent over all rounds, including traffic later rolled back.", lbl...),
+		roundSent: reg.Histogram("mpc_round_sent_words", "Per-round total send volume in words.", obs.DefaultWordBuckets(), lbl...),
 
-		peakLocal:  reg.Gauge("mpc_peak_local_words", "Peak words resident on any machine at any round end."),
-		totalSpace: reg.Gauge("mpc_total_space_words", "Peak sum of resident words across machines."),
-		machines:   reg.Gauge("mpc_machines", "Simulated machine count."),
-		capWords:   reg.Gauge("mpc_cap_words", "Per-machine local memory cap in words."),
+		peakLocal:  reg.Gauge("mpc_peak_local_words", "Peak words resident on any machine at any round end.", lbl...),
+		totalSpace: reg.Gauge("mpc_total_space_words", "Peak sum of resident words across machines.", lbl...),
+		machines:   reg.Gauge("mpc_machines", "Simulated machine count.", lbl...),
+		capWords:   reg.Gauge("mpc_cap_words", "Per-machine local memory cap in words.", lbl...),
 
-		checkpoints:      reg.Counter("mpc_checkpoints_total", "Cluster snapshots taken."),
-		checkpointWords:  reg.Counter("mpc_checkpoint_words_total", "Words snapshotted by checkpoints."),
-		restores:         reg.Counter("mpc_restores_total", "Checkpoint rollbacks performed."),
-		restoredWords:    reg.Counter("mpc_restored_words_total", "Words copied back by restores."),
-		rolledBackRounds: reg.Counter("mpc_rolled_back_rounds_total", "Rounds erased by rollbacks (wasted work)."),
-		rolledBackComm:   reg.Counter("mpc_rolled_back_comm_words_total", "Comm words erased by rollbacks."),
+		checkpoints:      reg.Counter("mpc_checkpoints_total", "Cluster snapshots taken.", lbl...),
+		checkpointWords:  reg.Counter("mpc_checkpoint_words_total", "Words snapshotted by checkpoints.", lbl...),
+		restores:         reg.Counter("mpc_restores_total", "Checkpoint rollbacks performed.", lbl...),
+		restoredWords:    reg.Counter("mpc_restored_words_total", "Words copied back by restores.", lbl...),
+		rolledBackRounds: reg.Counter("mpc_rolled_back_rounds_total", "Rounds erased by rollbacks (wasted work).", lbl...),
+		rolledBackComm:   reg.Counter("mpc_rolled_back_comm_words_total", "Comm words erased by rollbacks.", lbl...),
 
 		faults: make(map[FaultKind]*obs.Counter),
 	}
 	for _, k := range []FaultKind{FaultCrash, FaultTransient, FaultDrop, FaultDuplicate, FaultPressure} {
-		s.faults[k] = reg.Counter("mpc_faults_injected_total", "Faults injected by the installed plan, by class.", "class", k.String())
+		s.faults[k] = reg.Counter("mpc_faults_injected_total", "Faults injected by the installed plan, by class.", append([]string{"class", k.String()}, lbl...)...)
 	}
 	c.obs = s
 	s.syncShape(c)

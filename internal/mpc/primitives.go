@@ -33,7 +33,9 @@ func (c *Cluster) Broadcast(src int, blob []Record) error {
 	}
 
 	// Seed the source.
-	c.stores[src] = append(c.stores[src], blob...)
+	if err := c.t.Append(src, blob); err != nil {
+		return c.fail(err)
+	}
 	if err := c.refreshSpace(); err != nil {
 		return err
 	}

@@ -325,7 +325,13 @@ func Embed(c *mpc.Cluster, pts []vec.Point, opt Options) (*hst.Tree, *Info, erro
 	}
 	var diam float64
 	for m := 0; m < c.Machines(); m++ {
-		for _, rec := range c.Store(m) {
+		recs, err := c.StoreErr(m)
+		if err != nil {
+			// A transport that cannot produce the store is a failed run,
+			// not a zero-diameter input.
+			return nil, nil, err
+		}
+		for _, rec := range recs {
 			if rec.Tag == TagBox {
 				var s float64
 				for j := 0; j < d; j++ {

@@ -1,0 +1,133 @@
+package mpcnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"mpctree/internal/mpc"
+)
+
+// TestBackoffSchedule pins the deterministic backoff law: exponential
+// growth from BaseDelay, capped at MaxDelay, jittered into [0.5d, d], and
+// a pure function of (Seed, seq, attempt).
+func TestBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Seed: 42}
+	for attempt := 0; attempt < 8; attempt++ {
+		nominal := 100 * time.Millisecond << attempt
+		if nominal > time.Second {
+			nominal = time.Second
+		}
+		d := p.Backoff(7, attempt)
+		if d < nominal/2 || d > nominal {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, nominal/2, nominal)
+		}
+		if d2 := p.Backoff(7, attempt); d2 != d {
+			t.Fatalf("attempt %d: backoff not deterministic (%v vs %v)", attempt, d, d2)
+		}
+	}
+	// Different seeds decorrelate (at least one attempt must differ).
+	q := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Seed: 43}
+	same := true
+	for attempt := 0; attempt < 8; attempt++ {
+		if p.Backoff(7, attempt) != q.Backoff(7, attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// TestRetryBudgetExhaustion runs an op against a dead endpoint under a
+// fake clock and checks the attempt count, the recorded backoff schedule,
+// the ErrTransport classification, and the dead-worker bookkeeping.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	// A listener that is closed immediately: dials fail fast, no traffic.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+
+	var slept []time.Duration
+	policy := RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Seed:        9,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+
+	// Dial the transport while the worker is up...
+	w := NewWorker()
+	go w.Serve(ln)
+	tr, err := Dial(Config{Addrs: []string{addr}, Machines: 1, Retry: policy, OpTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer tr.Close()
+	// ...then kill it for good.
+	ln.Close()
+	if tr.conns[0] != nil {
+		tr.conns[0].Close()
+		tr.conns[0] = nil
+	}
+
+	_, err = tr.Read(0)
+	if !errors.Is(err, mpc.ErrTransport) {
+		t.Fatalf("err = %v, want ErrTransport class", err)
+	}
+	if len(slept) != policy.MaxAttempts-1 {
+		t.Fatalf("slept %d times, want %d (schedule %v)", len(slept), policy.MaxAttempts-1, slept)
+	}
+	// The recorded waits must match the policy exactly: the op's seq was
+	// the first issued (1), failed attempts 0..2 sleep before retries 1..3.
+	seq := uint64(1)
+	for i, got := range slept {
+		if want := policy.Backoff(seq, i); got != want {
+			t.Fatalf("backoff %d = %v, want %v", i, got, want)
+		}
+	}
+	st := tr.Stats()
+	if st.Retries != policy.MaxAttempts-1 {
+		t.Fatalf("Retries = %d, want %d", st.Retries, policy.MaxAttempts-1)
+	}
+	if st.DeadWorkers != 1 || tr.LiveWorkers() != 0 {
+		t.Fatalf("dead-worker bookkeeping wrong: %+v, live %d", st, tr.LiveWorkers())
+	}
+}
+
+// TestRetryRecoversAfterReconnect: the first attempt hits a torn
+// connection, the retry redials and succeeds — and the op's effect is
+// applied exactly once despite the resend (coordinator-visible face of
+// the worker's dedup layer).
+func TestRetryRecoversAfterReconnect(t *testing.T) {
+	workers, addrs := startWorkers(t, 1)
+	var slept []time.Duration
+	policy := fastRetry(10)
+	policy.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	tr, err := Dial(Config{Addrs: addrs, Machines: 1, Retry: policy})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer tr.Close()
+
+	// Tear the coordinator's connection behind its back: the next op's
+	// first attempt fails at the write or read, the retry redials.
+	tr.conns[0].Close()
+
+	if err := tr.Append(0, []mpc.Record{{Key: "once", Ints: []int64{1}}}); err != nil {
+		t.Fatalf("append across reconnect: %v", err)
+	}
+	if len(slept) == 0 {
+		t.Fatal("no retry recorded despite torn connection")
+	}
+	if st := workers[0].Store(0); len(st) != 1 {
+		t.Fatalf("append applied %d times across reconnect, want 1", len(st))
+	}
+	if st := tr.Stats(); st.Redials == 0 {
+		t.Fatalf("no redial recorded: %+v", st)
+	}
+}

@@ -1,0 +1,140 @@
+// Spawning real worker processes. The worker binary announces its bound
+// address by printing "MPCNET LISTEN <addr>" on stdout; SpawnWorkers
+// parses that line so workers can bind ephemeral ports (":0") without a
+// rendezvous service — the convention CI's transport-smoke job and the
+// -transport-spawn CLI flag both build on.
+package mpcnet
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WorkerProc is one spawned worker process.
+type WorkerProc struct {
+	Addr string
+	Cmd  *exec.Cmd
+}
+
+// Kill terminates the worker with SIGKILL and reaps it.
+func (p *WorkerProc) Kill() {
+	if p.Cmd.Process != nil {
+		_ = p.Cmd.Process.Kill()
+	}
+	_, _ = p.Cmd.Process.Wait()
+}
+
+// SpawnOptions shapes a worker fleet.
+type SpawnOptions struct {
+	// PrefixArgs precede the standard "-listen" arguments — the hook the
+	// test-binary helper-process pattern needs ("-test.run=...", "--").
+	PrefixArgs []string
+	// Env entries are appended to the inherited environment.
+	Env []string
+	// ExtraArgs are appended to every worker's command line (e.g.
+	// "-die-after", "40" to arm one worker's crash trigger — use
+	// PerWorkerArgs for that instead).
+	ExtraArgs []string
+	// PerWorkerArgs maps a worker index to extra args for just that
+	// worker.
+	PerWorkerArgs map[int][]string
+	// AnnounceTimeout bounds the wait for the LISTEN line (default 10s).
+	AnnounceTimeout time.Duration
+	// Stderr, when true, passes worker stderr through to this process
+	// (round traces, death logs).
+	Stderr bool
+}
+
+// SpawnWorkers launches n worker processes from the given binary, each
+// listening on an ephemeral localhost port, and returns them with their
+// announced addresses. On any failure every already-spawned worker is
+// killed before returning.
+func SpawnWorkers(bin string, n int, opts SpawnOptions) ([]*WorkerProc, error) {
+	timeout := opts.AnnounceTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	procs := make([]*WorkerProc, 0, n)
+	fail := func(err error) ([]*WorkerProc, error) {
+		for _, p := range procs {
+			p.Kill()
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		args := append([]string{}, opts.PrefixArgs...)
+		args = append(args, "-listen", "127.0.0.1:0")
+		args = append(args, opts.ExtraArgs...)
+		args = append(args, opts.PerWorkerArgs[i]...)
+		cmd := exec.Command(bin, args...)
+		if len(opts.Env) > 0 {
+			cmd.Env = append(os.Environ(), opts.Env...)
+		}
+		if opts.Stderr {
+			cmd.Stderr = os.Stderr
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(err)
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("spawn worker %d: %w", i, err))
+		}
+		p := &WorkerProc{Cmd: cmd}
+		procs = append(procs, p)
+
+		addrCh := make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				line := sc.Text()
+				if rest, ok := strings.CutPrefix(line, "MPCNET LISTEN "); ok {
+					addrCh <- strings.TrimSpace(rest)
+					break
+				}
+			}
+			close(addrCh)
+			// Drain any further stdout so the worker never blocks on a
+			// full pipe.
+			for sc.Scan() {
+			}
+		}()
+		select {
+		case addr, ok := <-addrCh:
+			if !ok || addr == "" {
+				return fail(fmt.Errorf("worker %d exited before announcing its address", i))
+			}
+			p.Addr = addr
+		case <-time.After(timeout):
+			return fail(fmt.Errorf("worker %d did not announce an address within %v", i, timeout))
+		}
+	}
+	return procs, nil
+}
+
+// Addrs extracts the announced addresses of a fleet.
+func Addrs(procs []*WorkerProc) []string {
+	addrs := make([]string, len(procs))
+	for i, p := range procs {
+		addrs[i] = p.Addr
+	}
+	return addrs
+}
+
+// KillAll terminates a fleet, tolerating already-dead members.
+func KillAll(procs []*WorkerProc) {
+	var wg sync.WaitGroup
+	for _, p := range procs {
+		wg.Add(1)
+		go func(p *WorkerProc) {
+			defer wg.Done()
+			p.Kill()
+		}(p)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,169 @@
+// Wire format for the TCP record plane. One frame per request and per
+// response, symmetric in both directions:
+//
+//	bytes 0..3   magic "MPW1"
+//	byte  4      op
+//	byte  5      flags (reserved, must be 0)
+//	bytes 6..7   reserved (must be 0)
+//	bytes 8..15  seq     (uint64 LE) — idempotency sequence number
+//	bytes 16..19 machine (int32 LE)  — logical machine index, -1 if n/a
+//	bytes 20..23 payload length (uint32 LE)
+//	...          payload
+//	last 4       CRC32-IEEE over header+payload (LE)
+//
+// The checksum makes payload corruption a detected transport failure
+// instead of a silently wrong tree: a frame that fails its CRC poisons
+// the connection (framing can no longer be trusted), and the coordinator
+// reconnects and retries under the op's original seq.
+//
+// Sequencing: the coordinator stamps every state-touching op with a
+// strictly increasing seq and REUSES that seq across retries of the same
+// op. The worker remembers the last seq it applied and the response it
+// sent; a duplicate (same seq) returns the cached response without
+// re-applying, which is what makes "send it again" a safe recovery move
+// for non-idempotent ops like Append. seq 0 is reserved for unsequenced
+// ops (Hello, Ping) that are never deduped.
+package mpcnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Op identifies a frame's operation (requests) or disposition (responses).
+type Op byte
+
+// Request ops (coordinator → worker) and response ops (worker →
+// coordinator). Response payloads: RespData carries op-specific bytes
+// (encoded records for OpRead, a uvarint for OpWords); RespErr carries a
+// human-readable reason.
+const (
+	OpHello  Op = 1 // handshake; unsequenced
+	OpRead   Op = 3 // fetch machine store → RespData(records)
+	OpWrite  Op = 4 // replace machine store; payload records
+	OpAppend Op = 5 // append to machine store; payload records
+	OpWords  Op = 6 // resident word count → RespData(uvarint)
+	OpReset  Op = 7 // clear all stores on this worker
+	OpPing   Op = 8 // liveness probe; unsequenced
+
+	RespOK   Op = 64
+	RespData Op = 65
+	RespErr  Op = 66
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpHello:
+		return "hello"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpAppend:
+		return "append"
+	case OpWords:
+		return "words"
+	case OpReset:
+		return "reset"
+	case OpPing:
+		return "ping"
+	case RespOK:
+		return "ok"
+	case RespData:
+		return "data"
+	case RespErr:
+		return "err"
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+const (
+	wireMagic  = "MPW1"
+	headerLen  = 24
+	trailerLen = 4 // CRC32
+	// maxPayload bounds a single frame. Stores are capped by the model's
+	// CapWords (words are 8 bytes), so legitimate frames are far smaller;
+	// the bound exists to stop a corrupted length field from driving a
+	// giant allocation before the CRC gets a chance to fail.
+	maxPayload = 1 << 28
+)
+
+// ErrWire is the class of framing-level failures: bad magic, length out
+// of range, checksum mismatch, short reads. A connection that produced
+// one can no longer be trusted to be frame-aligned and must be redialed.
+var ErrWire = errors.New("mpcnet: wire protocol violation")
+
+// Frame is one decoded message.
+type Frame struct {
+	Op      Op
+	Seq     uint64
+	Machine int32
+	Payload []byte
+}
+
+// AppendFrame appends the encoded frame (header, payload, CRC) to dst.
+func AppendFrame(dst []byte, f Frame) []byte {
+	start := len(dst)
+	dst = append(dst, wireMagic...)
+	dst = append(dst, byte(f.Op), 0, 0, 0)
+	dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Machine))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Payload)))
+	dst = append(dst, f.Payload...)
+	sum := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// WriteFrame encodes and writes one frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf := AppendFrame(make([]byte, 0, headerLen+len(f.Payload)+trailerLen), f)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads and validates one frame. Any violation — wrong magic,
+// oversized length, failed checksum — returns an ErrWire-class error;
+// io.EOF passes through untouched so callers can distinguish a clean
+// close from a torn one.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: short header: %v", ErrWire, err)
+	}
+	if string(hdr[:4]) != wireMagic {
+		return Frame{}, fmt.Errorf("%w: bad magic %q", ErrWire, hdr[:4])
+	}
+	if hdr[5] != 0 || hdr[6] != 0 || hdr[7] != 0 {
+		return Frame{}, fmt.Errorf("%w: nonzero reserved bytes", ErrWire)
+	}
+	plen := binary.LittleEndian.Uint32(hdr[20:24])
+	if plen > maxPayload {
+		return Frame{}, fmt.Errorf("%w: payload length %d exceeds limit %d", ErrWire, plen, maxPayload)
+	}
+	f := Frame{
+		Op:      Op(hdr[4]),
+		Seq:     binary.LittleEndian.Uint64(hdr[8:16]),
+		Machine: int32(binary.LittleEndian.Uint32(hdr[16:20])),
+	}
+	rest := make([]byte, int(plen)+trailerLen)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return Frame{}, fmt.Errorf("%w: short payload: %v", ErrWire, err)
+	}
+	want := binary.LittleEndian.Uint32(rest[plen:])
+	sum := crc32.ChecksumIEEE(hdr[:])
+	sum = crc32.Update(sum, crc32.IEEETable, rest[:plen])
+	if sum != want {
+		return Frame{}, fmt.Errorf("%w: checksum mismatch on %s frame seq %d (got %08x want %08x)",
+			ErrWire, f.Op, f.Seq, sum, want)
+	}
+	if plen > 0 {
+		f.Payload = rest[:plen:plen]
+	}
+	return f, nil
+}

@@ -25,6 +25,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -161,6 +162,45 @@ func Shards(workers, n int, fn func(shard, lo, hi int)) int {
 		snk.record(s, start, busy.Load())
 	}
 	return s
+}
+
+// forCtxChunk is the cancellation-check granularity of ForCtx: shards
+// poll ctx between chunks of this many items. Fixed (never derived from
+// the worker count) so chunking cannot perturb anything observable.
+const forCtxChunk = 64
+
+// ForCtx is For with cooperative cancellation: shard bodies poll ctx
+// between fixed-size chunks of the index range and stop early once it is
+// done, so a caller whose deadline expired (an HTTP request timing out
+// mid-batch) reclaims its workers instead of paying for a doomed result.
+// Returns ctx's error if the fan-out was cut short — the output slots are
+// then partially written and must be discarded — and nil on a complete
+// run, whose results are bit-identical to For's for any worker count.
+// fn must tolerate being called on sub-ranges of a shard (the per-item
+// ownership contract already implies it).
+func ForCtx(ctx context.Context, workers, n int, fn func(lo, hi int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var stopped atomic.Bool
+	For(workers, n, func(lo, hi int) {
+		for lo < hi {
+			if stopped.Load() {
+				return
+			}
+			if ctx.Err() != nil {
+				stopped.Store(true)
+				return
+			}
+			end := lo + forCtxChunk
+			if end > hi {
+				end = hi
+			}
+			fn(lo, end)
+			lo = end
+		}
+	})
+	return ctx.Err()
 }
 
 // MinMax folds a per-item (min, max) pair in parallel: f(i) returns the

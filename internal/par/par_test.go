@@ -1,10 +1,12 @@
 package par
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -136,5 +138,60 @@ func TestMinMaxEmptyAndAllSkipped(t *testing.T) {
 	mn, mx = MinMax(4, 50, math.Inf(1), math.Inf(-1), func(int) (float64, bool) { return 0, false })
 	if !math.IsInf(mn, 1) || !math.IsInf(mx, -1) {
 		t.Fatalf("all skipped: (%v, %v)", mn, mx)
+	}
+}
+
+func TestForCtxMatchesFor(t *testing.T) {
+	const n = 1000
+	want := make([]int, n)
+	For(4, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			want[i] = i * i
+		}
+	})
+	for _, workers := range []int{1, 3, 8} {
+		got := make([]int, n)
+		if err := ForCtx(context.Background(), workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				got[i] = i * i
+			}
+		}); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: item %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if err := ForCtx(ctx, 4, 100, func(lo, hi int) { ran = true }); err == nil {
+		t.Fatal("cancelled context returned nil")
+	}
+	if ran {
+		t.Fatal("body ran despite pre-cancelled context")
+	}
+}
+
+func TestForCtxCancelsInFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var processed atomic.Int64
+	const n = 1 << 20
+	err := ForCtx(ctx, 2, n, func(lo, hi int) {
+		if processed.Add(int64(hi-lo)) > forCtxChunk { // after the first couple of chunks...
+			cancel()
+		}
+		time.Sleep(50 * time.Microsecond) // keep the fan-out slow enough to observe
+	})
+	if err == nil {
+		t.Fatal("cancel mid-flight returned nil")
+	}
+	if got := processed.Load(); got >= n {
+		t.Fatalf("all %d items processed despite cancellation", got)
 	}
 }

@@ -157,8 +157,11 @@ type Step func(attempt int) error
 // Run executes step with checkpointed retries on c. On entry it snapshots
 // the cluster; every retry first restores that snapshot (clearing the
 // sticky failure a fault left behind). Retryable failures are the
-// injected-fault class (mpc.ErrInjected) and — when Escalate is set —
-// genuine mpc.ErrLocalMemory violations, which trigger a resource raise
+// injected-fault class (mpc.ErrInjected), the transport-failure class
+// (mpc.ErrTransport — connection loss or worker death, where Restore
+// doubles as the healing step that rewrites state onto the surviving
+// workers), and — when Escalate is set — genuine mpc.ErrLocalMemory
+// violations, which trigger a resource raise
 // instead of a plain retry. Any other error is returned immediately:
 // re-running a deterministic algorithm on identical state cannot fix a
 // coverage failure or a bad route.
@@ -183,11 +186,16 @@ func Run(c *mpc.Cluster, stage string, opts Options, step Step) (Stats, error) {
 		}
 
 		injected := errors.Is(err, mpc.ErrInjected)
+		transport := errors.Is(err, mpc.ErrTransport)
 		memory := errors.Is(err, mpc.ErrLocalMemory)
 		switch {
-		case injected:
+		case injected || transport:
 			// Transient: restore and retry (injected pressure included —
 			// the pressure was temporary, the same resources suffice).
+			// Transport failures land here too: by the time the error
+			// surfaced the backend already remapped dead workers onto
+			// survivors, so the restore rewrites state through the healed
+			// topology and the replay proceeds as if the fault never was.
 			memFails = 0
 		case memory && opts.Escalate:
 			memFails++

@@ -226,6 +226,20 @@ func TestDeadline(t *testing.T) {
 	}
 }
 
+// TestDeadlineReachesBatchFanOut pins the request context propagating
+// into the parallel batch path: an already-expired deadline must abort
+// the /v1/dist fan-out with 503 rather than computing a doomed batch.
+func TestDeadlineReachesBatchFanOut(t *testing.T) {
+	srv, _, tree, _ := newTestServer(t, Options{Deadline: time.Nanosecond, Workers: 4})
+	pairs := workload.DistPairs(3, tree.NumPoints(), 5000)
+	if code := postJSON(t, srv.URL+"/v1/dist", DistRequest{Tree: "t", Pairs: pairs}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("expired deadline on dist batch: HTTP %d, want 503", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/knn", KNNRequest{Tree: "t", Points: []int{0, 1, 2, 3}, K: 3}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("expired deadline on knn batch: HTTP %d, want 503", code)
+	}
+}
+
 func TestTreesListAndReload(t *testing.T) {
 	srv, reg, tree, path := newTestServer(t, Options{})
 	httpResp, err := http.Get(srv.URL + "/v1/trees")

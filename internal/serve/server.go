@@ -281,11 +281,16 @@ func (s *Server) handleDist(r *http.Request) (any, error) {
 		}
 	}
 	out := make([]float64, len(req.Pairs))
-	par.For(s.workers, len(req.Pairs), func(lo, hi int) {
+	// The request context carries the per-request deadline: a timed-out
+	// batch stops its in-flight shards instead of computing a result
+	// nobody will read.
+	if err := par.ForCtx(r.Context(), s.workers, len(req.Pairs), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = t.Dist(req.Pairs[i][0], req.Pairs[i][1])
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return DistResponse{Tree: req.Tree, Dists: out}, nil
 }
 
@@ -336,11 +341,13 @@ func (s *Server) handleKNN(r *http.Request) (any, error) {
 		}
 	}
 	out := make([][]hst.Neighbor, len(points))
-	par.For(s.workers, len(points), func(lo, hi int) {
+	if err := par.ForCtx(r.Context(), s.workers, len(points), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = t.KNN(points[i], req.K)
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return KNNResponse{Tree: req.Tree, Neighbors: out}, nil
 }
 

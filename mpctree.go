@@ -106,6 +106,15 @@ type MPCOptions struct {
 	// Pipeline.Resilient to exercise recovery; without it, the first
 	// injected fault fails the run with an mpc.ErrInjected-class error.
 	Faults *mpc.FaultPlan
+	// Transport, if non-nil, backs the cluster's record plane with this
+	// transport (e.g. an mpcnet TCP transport over real worker processes)
+	// instead of the in-process simulator. Machines must equal the
+	// transport's machine count, and capacity derivation is unchanged.
+	// The output tree is bit-identical across backends — all computation
+	// and randomness stay coordinator-side; pair remote transports with
+	// Pipeline.Resilient so worker failures recover by checkpointed
+	// replay instead of failing the run.
+	Transport mpc.Transport
 	// Obs, if non-nil, instruments the simulated cluster against this
 	// metrics registry (mpc_rounds_total, mpc_comm_words_total, peak
 	// residency, checkpoint/restore/fault series — see
@@ -142,15 +151,21 @@ type MPCInfo struct {
 	RoundTrace []RoundStat
 }
 
-// EmbedMPC runs the full Theorem-1 pipeline — MPC Fast Johnson–
-// Lindenstrauss dimension reduction followed by MPC hybrid partitioning —
-// on a freshly simulated cluster and returns the tree plus accounting.
-func EmbedMPC(pts []Point, opt MPCOptions) (*Tree, *MPCInfo, error) {
-	machines := opt.Machines
+// newMPCCluster builds the cluster an MPC entry point runs on: resolves
+// the machine count (Transport's count when one is supplied and Machines
+// is unset; 8 otherwise) and the memory cap (FullyScalableCap when
+// unset), routes the record plane through opt.Transport when given, and
+// applies the fault/obs/trace options.
+func newMPCCluster(pts []Point, opt MPCOptions) (cluster *mpc.Cluster, machines, capWords int) {
+	machines = opt.Machines
 	if machines == 0 {
-		machines = 8
+		if opt.Transport != nil {
+			machines = opt.Transport.Machines()
+		} else {
+			machines = 8
+		}
 	}
-	capWords := opt.CapWords
+	capWords = opt.CapWords
 	if capWords == 0 {
 		n := len(pts)
 		d := 1
@@ -163,7 +178,12 @@ func EmbedMPC(pts []Point, opt MPCOptions) (*Tree, *MPCInfo, error) {
 		}
 		capWords = mpc.FullyScalableCap(n, d, eps, 256)
 	}
-	cluster := mpc.New(mpc.Config{Machines: machines, CapWords: capWords})
+	cfg := mpc.Config{Machines: machines, CapWords: capWords}
+	if opt.Transport != nil {
+		cluster = mpc.NewWithTransport(cfg, opt.Transport)
+	} else {
+		cluster = mpc.New(cfg)
+	}
 	if opt.Faults != nil {
 		cluster.InjectFaults(opt.Faults)
 	}
@@ -173,6 +193,14 @@ func EmbedMPC(pts []Point, opt MPCOptions) (*Tree, *MPCInfo, error) {
 	if opt.Trace {
 		cluster.EnableTrace()
 	}
+	return cluster, machines, capWords
+}
+
+// EmbedMPC runs the full Theorem-1 pipeline — MPC Fast Johnson–
+// Lindenstrauss dimension reduction followed by MPC hybrid partitioning —
+// on a freshly simulated cluster and returns the tree plus accounting.
+func EmbedMPC(pts []Point, opt MPCOptions) (*Tree, *MPCInfo, error) {
+	cluster, machines, capWords := newMPCCluster(pts, opt)
 	popt := opt.Pipeline
 	if opt.Seed != 0 {
 		popt.Seed = opt.Seed
@@ -224,33 +252,7 @@ type DistributedEmbedding = mpcapps.Embedding
 // the path records resident for subsequent constant-round queries via the
 // returned embedding's EMD and DensestBall methods.
 func NewDistributedEmbedding(pts []Point, opt MPCOptions) (*DistributedEmbedding, error) {
-	machines := opt.Machines
-	if machines == 0 {
-		machines = 8
-	}
-	capWords := opt.CapWords
-	if capWords == 0 {
-		n := len(pts)
-		d := 1
-		if n > 0 {
-			d = len(pts[0])
-		}
-		eps := opt.Eps
-		if eps == 0 {
-			eps = 0.7
-		}
-		capWords = mpc.FullyScalableCap(n, d, eps, 256)
-	}
-	cluster := mpc.New(mpc.Config{Machines: machines, CapWords: capWords})
-	if opt.Faults != nil {
-		cluster.InjectFaults(opt.Faults)
-	}
-	if opt.Obs != nil {
-		cluster.Instrument(opt.Obs)
-	}
-	if opt.Trace {
-		cluster.EnableTrace()
-	}
+	cluster, _, _ := newMPCCluster(pts, opt)
 	eo := opt.Pipeline.Embed
 	if opt.Seed != 0 {
 		eo.Seed = opt.Seed
