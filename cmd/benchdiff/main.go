@@ -9,8 +9,12 @@
 //	go run ./cmd/benchdiff -out BENCH_PR5.json -baseline BENCH_PR2.json
 //
 // When -baseline is omitted the most recent committed baseline is
-// auto-discovered: the highest-numbered BENCH_PR<k>.json in the current
-// directory, falling back to the lexicographically last BENCH_*.json.
+// auto-discovered, preferring like-for-like hardware: among the
+// BENCH_PR<k>.json files in the current directory, the highest-numbered
+// one whose recorded GOMAXPROCS matches this machine wins; if none
+// matches, the highest-numbered overall (falling back to the
+// lexicographically last BENCH_*.json), with the CPU-mismatch waiver
+// below taking over for the parallel benchmarks.
 //
 // The report records GOMAXPROCS and the CPU count: on a single-core
 // machine the workers=8 variants measure the worker pool's overhead, not
@@ -47,6 +51,10 @@ type Report struct {
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	CPUs       int     `json:"cpus"`
 	Quick      bool    `json:"quick"`
+	// Note is stamped at write time when the machine shape qualifies the
+	// numbers (e.g. a single-core recording, where /workers=N>1 variants
+	// measure fan-out overhead rather than parallel speedup).
+	Note       string  `json:"note,omitempty"`
 	Benchmarks []Bench `json:"benchmarks"`
 	// Speedups maps each workers-parameterised benchmark to
 	// ns(workers=1) / ns(workers=8); > 1 means the fan-out won.
@@ -120,7 +128,7 @@ func main() {
 	// report, then refresh it).
 	basePath := *baseline
 	if basePath == "" {
-		basePath = discoverBaseline(".")
+		basePath = discoverBaseline(".", runtime.GOMAXPROCS(0))
 		if basePath != "" {
 			fmt.Fprintf(os.Stderr, "benchdiff: auto-discovered baseline %s\n", basePath)
 		}
@@ -144,9 +152,12 @@ func main() {
 		CPUs:       runtime.NumCPU(),
 		Quick:      *quick,
 	}
+	if rep.GOMAXPROCS == 1 {
+		rep.Note = "recorded at GOMAXPROCS=1: the /workers=N>1 variants measure the worker pool's scheduling overhead, not a parallel speedup; read the speedup ratios only against a multi-core recording"
+	}
 	for _, suite := range []struct{ pkg, pattern string }{
 		{"mpctree", "Workers"},
-		{"mpctree/internal/hadamard", "BenchmarkDistFWHT|BenchmarkFWHT1024"},
+		{"mpctree/internal/hadamard", "BenchmarkDistFWHT|BenchmarkFWHT1024|BenchmarkFWHTLarge"},
 	} {
 		fmt.Fprintf(os.Stderr, "benchdiff: running %s -bench=%s -benchtime=%s\n", suite.pkg, suite.pattern, bt)
 		bs, err := runSuite(suite.pkg, suite.pattern, bt)
@@ -166,28 +177,7 @@ func main() {
 		fmt.Printf("speedup %-47s %14.2fx (workers=1 vs workers=8, GOMAXPROCS=%d)\n", base, rep.Speedups[base], rep.GOMAXPROCS)
 	}
 
-	type regression struct {
-		name string
-		msg  string
-	}
-	var regressions []regression
-	if base != nil {
-		old := map[string]Bench{}
-		for _, b := range base.Benchmarks {
-			old[b.Name] = b
-		}
-		for _, b := range rep.Benchmarks {
-			o, ok := old[b.Name]
-			if !ok || o.NsPerOp <= 0 {
-				continue
-			}
-			if ratio := b.NsPerOp / o.NsPerOp; ratio > 1+*threshold {
-				regressions = append(regressions, regression{b.Name,
-					fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.0f%% slower, threshold %.0f%%)",
-						b.Name, b.NsPerOp, o.NsPerOp, (ratio-1)*100, *threshold*100)})
-			}
-		}
-	}
+	gating, waived := diffReports(&rep, base, *threshold)
 
 	if *out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -202,44 +192,67 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
 	}
 
-	if len(regressions) > 0 {
-		// A baseline recorded on different hardware is only partially
-		// comparable: benchmarks that fan work out across cores
-		// (/workers=N, N>1) shift with the core count and GOMAXPROCS, so
-		// a GENUINE mismatch in either downgrades those — and only those
-		// — to warnings. Serial benchmarks measure single-core work and
-		// keep gating regardless of the machine shape; downgrading them
-		// too would let any hardware change mask a real regression.
-		cpuMismatch := base != nil && base.CPUs != 0 &&
-			(base.CPUs != rep.CPUs || (base.GOMAXPROCS != 0 && base.GOMAXPROCS != rep.GOMAXPROCS))
-		var gating []regression
-		if cpuMismatch {
-			var waived []regression
-			for _, r := range regressions {
-				if cpuSensitive(r.name) {
-					waived = append(waived, r)
-				} else {
-					gating = append(gating, r)
-				}
-			}
-			if len(waived) > 0 {
-				fmt.Fprintf(os.Stderr, "benchdiff: WARNING: %d apparent regression(s) in parallel benchmarks, but baseline was recorded on %d CPUs / GOMAXPROCS %d and this machine has %d / %d — not comparable, not failing:\n",
-					len(waived), base.CPUs, base.GOMAXPROCS, rep.CPUs, rep.GOMAXPROCS)
-				for _, r := range waived {
-					fmt.Fprintln(os.Stderr, "  ", r.msg)
-				}
-			}
-		} else {
-			gating = regressions
-		}
-		if len(gating) > 0 {
-			fmt.Fprintln(os.Stderr, "benchdiff: REGRESSIONS:")
-			for _, r := range gating {
-				fmt.Fprintln(os.Stderr, "  ", r.msg)
-			}
-			os.Exit(1)
+	if len(waived) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: WARNING: %d apparent regression(s) in parallel benchmarks, but baseline was recorded on %d CPUs / GOMAXPROCS %d and this machine has %d / %d — not comparable, not failing:\n",
+			len(waived), base.CPUs, base.GOMAXPROCS, rep.CPUs, rep.GOMAXPROCS)
+		for _, r := range waived {
+			fmt.Fprintln(os.Stderr, "  ", r.msg)
 		}
 	}
+	if len(gating) > 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: REGRESSIONS:")
+		for _, r := range gating {
+			fmt.Fprintln(os.Stderr, "  ", r.msg)
+		}
+		os.Exit(1)
+	}
+}
+
+// regression is one over-threshold slowdown against the baseline.
+type regression struct {
+	name string
+	msg  string
+}
+
+// diffReports compares a fresh report against the baseline and splits the
+// over-threshold slowdowns into gating failures and waived warnings.
+//
+// A baseline recorded on different hardware is only partially comparable:
+// benchmarks that fan work out across cores (/workers=N, N>1) shift with
+// the core count and GOMAXPROCS, so a GENUINE mismatch in either
+// downgrades those — and only those — to warnings. Serial benchmarks
+// measure single-core work and ALWAYS gate hard, regardless of the
+// machine shape; downgrading them too would let any hardware change mask
+// a real regression.
+func diffReports(rep, base *Report, threshold float64) (gating, waived []regression) {
+	if base == nil {
+		return nil, nil
+	}
+	old := map[string]Bench{}
+	for _, b := range base.Benchmarks {
+		old[b.Name] = b
+	}
+	cpuMismatch := base.CPUs != 0 &&
+		(base.CPUs != rep.CPUs || (base.GOMAXPROCS != 0 && base.GOMAXPROCS != rep.GOMAXPROCS))
+	for _, b := range rep.Benchmarks {
+		o, ok := old[b.Name]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		ratio := b.NsPerOp / o.NsPerOp
+		if ratio <= 1+threshold {
+			continue
+		}
+		r := regression{b.Name,
+			fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.0f%% slower, threshold %.0f%%)",
+				b.Name, b.NsPerOp, o.NsPerOp, (ratio-1)*100, threshold*100)}
+		if cpuMismatch && cpuSensitive(b.Name) {
+			waived = append(waived, r)
+		} else {
+			gating = append(gating, r)
+		}
+	}
+	return gating, waived
 }
 
 // cpuSensitive reports whether a benchmark's result depends on the
@@ -253,23 +266,51 @@ func cpuSensitive(name string) bool {
 	return strings.TrimPrefix(name[i:], "/workers=") != "1"
 }
 
-// discoverBaseline picks the most recent committed baseline in dir: the
-// BENCH_PR<k>.json with the highest k, else the lexicographically last
-// BENCH_*.json, else "".
-func discoverBaseline(dir string) string {
+// discoverBaseline picks the most recent committed baseline in dir,
+// preferring like-for-like hardware: the BENCH_PR<k>.json with the
+// highest k whose recorded GOMAXPROCS equals gomaxprocs, else the
+// highest-k BENCH_PR<k>.json regardless of shape (the CPU-mismatch
+// waiver handles the parallel benchmarks), else the lexicographically
+// last BENCH_*.json, else "". Baselines that predate the gomaxprocs
+// field (recorded 0) never match on shape but stay eligible as the
+// fallback.
+func discoverBaseline(dir string, gomaxprocs int) string {
 	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil || len(matches) == 0 {
 		return ""
 	}
+	recordedProcs := func(path string) int {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 0
+		}
+		var r Report
+		if json.Unmarshal(data, &r) != nil {
+			return 0
+		}
+		return r.GOMAXPROCS
+	}
 	bestPR, bestNum := "", -1
+	matchPR, matchNum := "", -1
 	for _, m := range matches {
 		name := filepath.Base(m)
 		numStr := strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_PR"), ".json")
-		if numStr != name && numStr != "" {
-			if k, err := strconv.Atoi(numStr); err == nil && k > bestNum {
-				bestPR, bestNum = m, k
-			}
+		if numStr == name || numStr == "" {
+			continue
 		}
+		k, err := strconv.Atoi(numStr)
+		if err != nil {
+			continue
+		}
+		if k > bestNum {
+			bestPR, bestNum = m, k
+		}
+		if k > matchNum && recordedProcs(m) == gomaxprocs {
+			matchPR, matchNum = m, k
+		}
+	}
+	if matchPR != "" {
+		return matchPR
 	}
 	if bestPR != "" {
 		return bestPR

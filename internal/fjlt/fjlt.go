@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 
+	"mpctree/internal/arena"
 	"mpctree/internal/hadamard"
 	"mpctree/internal/par"
 	"mpctree/internal/rng"
@@ -122,7 +123,8 @@ type PEntry struct {
 // any machine can generate its block without communication and disjoint
 // blocks use independent streams.
 func PEntriesForColBlock(p Params, col0, width int) []PEntry {
-	r := rng.NewHashed(p.Seed, 0xF17E, uint64(col0))
+	var r rng.RNG
+	r.Reseed(p.Seed, 0xF17E, uint64(col0))
 	total := p.K * width
 	var out []PEntry
 	sigma := 1 / math.Sqrt(p.Q)
@@ -188,44 +190,77 @@ func DefaultBlockC(dPad int) int {
 	return b
 }
 
-// FromParams materialises the transform for exact parameter control.
+// FromParams materialises the transform for exact parameter control. The
+// per-block entry streams are independent by construction (each block
+// reseeds from (seed, col0)), so generation fans out over GOMAXPROCS and
+// the blocks are concatenated in column order — the same entry sequence
+// the serial loop produced.
 func FromParams(p Params) *Transform {
 	blockC := DefaultBlockC(p.DPad)
-	var entries []PEntry
-	for c0 := 0; c0 < p.DPad; c0 += blockC {
-		entries = append(entries, PEntriesForColBlock(p, c0, blockC)...)
+	nBlocks := (p.DPad + blockC - 1) / blockC
+	perBlock := make([][]PEntry, nBlocks)
+	par.For(0, nBlocks, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			perBlock[b] = PEntriesForColBlock(p, b*blockC, blockC)
+		}
+	})
+	total := 0
+	for _, es := range perBlock {
+		total += len(es)
+	}
+	entries := make([]PEntry, 0, total)
+	for _, es := range perBlock {
+		entries = append(entries, es...)
 	}
 	return &Transform{P: p, blockC: blockC, entries: entries}
 }
 
 // Apply maps one point to k dimensions.
 func (t *Transform) Apply(x vec.Point) vec.Point {
+	y := make([]float64, t.P.DPad)
+	z := make(vec.Point, t.P.K)
+	t.applyInto(x, y, z)
+	return z
+}
+
+// applyInto runs one transform with caller-provided buffers: y is DPad
+// scratch (overwritten entirely, any prior contents irrelevant), z is the
+// K-dimensional output. Identical float op sequence to the historical
+// Apply, so results are bitwise unchanged.
+func (t *Transform) applyInto(x vec.Point, y []float64, z vec.Point) {
 	if len(x) != t.P.D {
 		panic(fmt.Sprintf("fjlt: point dimension %d, transform expects %d", len(x), t.P.D))
 	}
-	y := make([]float64, t.P.DPad)
 	for i, v := range x {
 		y[i] = v * SignAt(t.P.Seed, i)
 	}
+	clear(y[len(x):]) // zero padding, exactly as a fresh buffer would be
 	hadamard.Normalized(y)
-	z := make(vec.Point, t.P.K)
+	clear(z)
 	for _, e := range t.entries {
 		z[e.Row] += e.Val * y[e.Col]
 	}
 	for j := range z {
 		z[j] *= t.P.Scale
 	}
-	return z
 }
 
 // ApplyAll maps a point set, fanning the independent per-point transforms
 // over t.Workers. Each output slot is a pure function of (seed, point), so
 // the result is bit-identical to the serial loop for any worker count.
+// Each shard reuses one Hadamard scratch buffer and carves its outputs
+// from its own escape-mode arena (the caller owns them; the slabs die
+// when the outputs do), making the per-point heap cost fractional.
 func (t *Transform) ApplyAll(pts []vec.Point) []vec.Point {
 	out := make([]vec.Point, len(pts))
-	par.For(t.Workers, len(pts), func(lo, hi int) {
+	pool := arena.NewPool(par.Workers(t.Workers))
+	par.Shards(t.Workers, len(pts), func(shard, lo, hi int) {
+		a := pool.Get(shard)
+		y := make([]float64, t.P.DPad)
 		for i := lo; i < hi; i++ {
-			out[i] = t.Apply(pts[i])
+			z := vec.Point(a.Floats(t.P.K))
+			t.applyInto(pts[i], y, z)
+			out[i] = z
 		}
 	})
 	return out

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mpctree/internal/arena"
 	"mpctree/internal/hadamard"
 	"mpctree/internal/mpc"
 	"mpctree/internal/par"
@@ -127,6 +128,7 @@ func ApplyMPC(c *mpc.Cluster, pts []vec.Point, p Params, blockC, workers int) ([
 		}
 		idx := make(map[int]int)
 		var groups []group
+		var blockIDs []int
 		entriesByBlock := make(map[int][]PEntry)
 		for _, r := range local {
 			if r.Tag != hadamard.TagRowBlock {
@@ -135,7 +137,8 @@ func ApplyMPC(c *mpc.Cluster, pts []vec.Point, p Params, blockC, workers int) ([
 			}
 			pt, b := int(r.Ints[0]), int(r.Ints[1])
 			if _, ok := entriesByBlock[b]; !ok {
-				entriesByBlock[b] = PEntriesForColBlock(p, b*blockC, blockC)
+				entriesByBlock[b] = nil
+				blockIDs = append(blockIDs, b)
 			}
 			gi, ok := idx[pt]
 			if !ok {
@@ -145,13 +148,29 @@ func ApplyMPC(c *mpc.Cluster, pts []vec.Point, p Params, blockC, workers int) ([
 			}
 			groups[gi].recs = append(groups[gi].recs, r)
 		}
+		// Every resident block's P entries regenerate in parallel — each
+		// block is an independent (seed, col0) stream, so the entries are
+		// the same regardless of which worker draws them.
+		blockEntries := make([][]PEntry, len(blockIDs))
+		par.For(workers, len(blockIDs), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				blockEntries[i] = PEntriesForColBlock(p, blockIDs[i]*blockC, blockC)
+			}
+		})
+		for i, b := range blockIDs {
+			entriesByBlock[b] = blockEntries[i]
+		}
 		// Each point's partial only ever sees that point's records, in
 		// store order — the same float addition sequence as a serial
 		// sweep, so partials are bit-identical for any worker count.
+		// Partials escape into the receiving stores, so each shard carves
+		// them from its own escape-mode arena.
 		partials := make([][]float64, len(groups))
-		par.For(workers, len(groups), func(lo, hi int) {
+		pool := arena.NewPool(par.Workers(workers))
+		par.Shards(workers, len(groups), func(shard, lo, hi int) {
+			a := pool.Get(shard)
 			for g := lo; g < hi; g++ {
-				acc := make([]float64, p.K)
+				acc := a.Floats(p.K)
 				for _, r := range groups[g].recs {
 					b := int(r.Ints[1])
 					for _, e := range entriesByBlock[b] {
@@ -166,9 +185,12 @@ func ApplyMPC(c *mpc.Cluster, pts []vec.Point, p Params, blockC, workers int) ([
 			order[i] = i
 		}
 		sort.Slice(order, func(a, b int) bool { return groups[order[a]].pt < groups[order[b]].pt })
+		ea := arena.New()
 		for _, g := range order {
 			pt := groups[g].pt
-			emit(pt%M, mpc.Record{Key: OutKey(pt), Tag: tagPartial, Ints: []int64{int64(pt)}, Data: partials[g]})
+			ints := ea.Ints(1)
+			ints[0] = int64(pt)
+			emit(pt%M, mpc.Record{Key: OutKey(pt), Tag: tagPartial, Ints: ints, Data: partials[g]})
 		}
 		return keep
 	})
@@ -176,9 +198,11 @@ func ApplyMPC(c *mpc.Cluster, pts []vec.Point, p Params, blockC, workers int) ([
 		return nil, err
 	}
 
-	// Sum partials and scale — local.
+	// Sum partials and scale — local. Accumulators become the resident
+	// output records, carved escape-mode.
 	err = c.LocalMap(func(m int, local []mpc.Record) []mpc.Record {
 		keep := local[:0:0]
+		la := arena.New()
 		acc := make(map[int][]float64)
 		for _, r := range local {
 			if r.Tag != tagPartial {
@@ -188,7 +212,7 @@ func ApplyMPC(c *mpc.Cluster, pts []vec.Point, p Params, blockC, workers int) ([
 			pt := int(r.Ints[0])
 			a := acc[pt]
 			if a == nil {
-				a = make([]float64, p.K)
+				a = la.Floats(p.K)
 				acc[pt] = a
 			}
 			for j, v := range r.Data {

@@ -34,14 +34,24 @@ func New(r *rng.RNG, dim int, cell float64) Grid {
 	if dim <= 0 {
 		panic(fmt.Sprintf("grid: non-positive dimension %d", dim))
 	}
+	return NewInto(r, make(vec.Point, dim), cell)
+}
+
+// NewInto samples a grid into a caller-provided shift buffer (dimension =
+// len(shift)), drawing exactly the same variates as New — the arena-backed
+// grid generation in mpcembed relies on the two being bitwise
+// interchangeable.
+func NewInto(r *rng.RNG, shift vec.Point, cell float64) Grid {
+	if len(shift) == 0 {
+		panic("grid: empty shift buffer")
+	}
 	if cell <= 0 {
 		panic(fmt.Sprintf("grid: non-positive cell length %v", cell))
 	}
-	s := make(vec.Point, dim)
-	for i := range s {
-		s[i] = r.UniformRange(0, cell)
+	for i := range shift {
+		shift[i] = r.UniformRange(0, cell)
 	}
-	return Grid{Dim: dim, Cell: cell, Shift: s}
+	return Grid{Dim: len(shift), Cell: cell, Shift: shift}
 }
 
 // NewSeq samples a sequence of u independent grids (the G_1, G_2, ... of

@@ -81,5 +81,23 @@ func FuzzFWHT(f *testing.F) {
 				t.Fatalf("d=%d: Normalized∘Normalized[%d] = %v, want %v", d, i, norm[0][i], x[i])
 			}
 		}
+
+		// The cache-blocked schedule only engages past fwhtBlockLen, which
+		// the dense cross-check above can't afford; check it against the
+		// O(d log d) reference butterfly bitwise instead, seeded from the
+		// same stream.
+		dBig := fwhtBlockLen << (1 + logD%3) // 2·…·8 × blockLen
+		big := make([]float64, dBig)
+		for i := range big {
+			big[i] = r.Normal()
+		}
+		ref := append([]float64(nil), big...)
+		fwhtBlocked(big)
+		fwhtRef(ref)
+		for i := range big {
+			if math.Float64bits(big[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("dBig=%d: blocked FWHT diverges from reference at %d: %v vs %v", dBig, i, big[i], ref[i])
+			}
+		}
 	})
 }

@@ -21,6 +21,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"mpctree/internal/arena"
 	"mpctree/internal/mpc"
 	"mpctree/internal/par"
 )
@@ -36,13 +37,96 @@ func NextPow2(v int) int {
 	return 1 << bits.Len(uint(v-1))
 }
 
+// Cache-blocking parameters for fwhtBlocked. fwhtBlockLen floats = 16 KiB,
+// half a typical 32 KiB L1d, so one block plus its write-back traffic stays
+// resident through all log2(fwhtBlockLen) stage-1 passes. fwhtTileCols
+// columns × 8 B = 8 cache lines per row gathered into a stage-2 tile; a
+// tile's contiguous scratch (rows × 512 B) fits L2 even at n = 2²².
+const (
+	fwhtBlockLen = 1 << 11
+	fwhtTileCols = 64
+)
+
 // FWHT applies the unnormalised Walsh–Hadamard transform to x in place.
 // len(x) must be a power of two. Applying it twice yields len(x)·x.
+//
+// Dispatch is the textbook stride loop (fwhtRef) at every size. The
+// cache-blocked schedule (fwhtBlocked) was built for the large-n regime,
+// but measurement on the recorded baseline hardware shows the textbook
+// loop winning at every size up to 2²² (43 ms vs 52 ms blocked at 2²²,
+// 0.46 ms vs 0.55 ms at 2¹⁶): each of its passes is two interleaved
+// sequential streams, which hardware prefetchers service at full
+// bandwidth, while the blocked schedule's strided tile traffic defeats
+// them and adds gather/scatter work. The blocked schedule stays in-tree,
+// bitwise-pinned to the reference (TestFWHTBlockedMatchesReference,
+// FuzzFWHT) and benchmarked beside it (BenchmarkFWHTLarge, gated through
+// benchdiff), so a bandwidth-starved host can flip the dispatch on
+// evidence rather than folklore. Schedule choice never changes output
+// bits, so the dispatch is free to follow the measurements.
 func FWHT(x []float64) {
+	if !IsPow2(len(x)) {
+		panic(fmt.Sprintf("hadamard: length %d is not a power of two", len(x)))
+	}
+	fwhtRef(x)
+}
+
+// fwhtBlocked is the two-stage cache-blocked schedule, bit-identical to
+// the textbook stride loop: stage 1 runs every stride h < fwhtBlockLen
+// inside each aligned block — such butterflies never cross an aligned
+// block boundary, because a stride-h butterfly stays inside its aligned
+// 2h-window and 2h ≤ fwhtBlockLen. Stage 2 runs the remaining strides
+// h ≥ fwhtBlockLen, which only pair indices congruent mod fwhtBlockLen
+// (fwhtBlockLen divides h): the vector is viewed as rows of blockLen
+// columns, and each fwhtTileCols-wide column tile is gathered into
+// contiguous scratch, transformed across all row strides while resident,
+// and scattered back. Gather/scatter only moves values; every slot sees
+// exactly the reference butterfly sequence — same partners, same
+// ascending stride order, same two floating-point ops — so the result is
+// bitwise equal, not just numerically close.
+func fwhtBlocked(x []float64) {
 	n := len(x)
 	if !IsPow2(n) {
 		panic(fmt.Sprintf("hadamard: length %d is not a power of two", n))
 	}
+	if n <= fwhtBlockLen {
+		fwhtRef(x)
+		return
+	}
+	// Stage 1: full transform of each aligned block (strides 1…blockLen/2).
+	for b := 0; b < n; b += fwhtBlockLen {
+		fwhtRef(x[b : b+fwhtBlockLen])
+	}
+	// Stage 2: strides blockLen…n/2 over each column tile in scratch.
+	rows := n / fwhtBlockLen
+	scratch := make([]float64, rows*fwhtTileCols)
+	for c0 := 0; c0 < fwhtBlockLen; c0 += fwhtTileCols {
+		for j := 0; j < rows; j++ {
+			copy(scratch[j*fwhtTileCols:(j+1)*fwhtTileCols], x[j*fwhtBlockLen+c0:j*fwhtBlockLen+c0+fwhtTileCols])
+		}
+		for h := 1; h < rows; h *= 2 {
+			for i := 0; i < rows; i += 2 * h {
+				for j := i; j < i+h; j++ {
+					p := j * fwhtTileCols
+					q := (j + h) * fwhtTileCols
+					for c := 0; c < fwhtTileCols; c++ {
+						a, b := scratch[p+c], scratch[q+c]
+						scratch[p+c], scratch[q+c] = a+b, a-b
+					}
+				}
+			}
+		}
+		for j := 0; j < rows; j++ {
+			copy(x[j*fwhtBlockLen+c0:j*fwhtBlockLen+c0+fwhtTileCols], scratch[j*fwhtTileCols:(j+1)*fwhtTileCols])
+		}
+	}
+}
+
+// fwhtRef is the textbook in-place butterfly: ascending strides over the
+// whole vector. It is the bitwise reference the blocked FWHT must match
+// (asserted by TestFWHTBlockedMatchesReference and FuzzFWHT) and the fast
+// path for vectors that already fit in L1.
+func fwhtRef(x []float64) {
+	n := len(x)
 	for h := 1; h < n; h *= 2 {
 		for i := 0; i < n; i += 2 * h {
 			for j := i; j < i+h; j++ {
@@ -218,29 +302,39 @@ func DistFWHT(c *mpc.Cluster, d, blockC, workers int) error {
 	// transform.
 	err := c.Round(func(m int, local []mpc.Record, emit mpc.Emit) []mpc.Record {
 		keep := local[:0:0]
-		var blocks []mpc.Record
+		// Transform every local block in place in one parallel batch. The
+		// blocks are dropped from this machine's store after emission and
+		// a failed round is only ever recovered by checkpoint restore
+		// (never by re-running the closure on the same store), so no
+		// defensive copy is needed.
+		var batch [][]float64
+		for _, r := range local {
+			if r.Tag == TagRowBlock {
+				batch = append(batch, r.Data)
+			}
+		}
+		FWHTBatch(batch, workers)
+		// Emit serially in store order: delivery order is part of the
+		// cluster's determinism contract. Payloads are carved from an
+		// escape-mode arena (see internal/arena): the receiving stores
+		// hold the carves, the slabs die with them, and the two heap
+		// objects per element collapse to two per ~2k elements.
+		a := arena.New()
 		for _, r := range local {
 			if r.Tag != TagRowBlock {
 				keep = append(keep, r)
 				continue
 			}
-			blocks = append(blocks, r)
-		}
-		// Transform copies of every local block in one parallel batch…
-		batch := make([][]float64, len(blocks))
-		for i, r := range blocks {
-			batch[i] = append([]float64(nil), r.Data...)
-		}
-		FWHTBatch(batch, workers)
-		// …then emit serially in store order: delivery order is part of
-		// the cluster's determinism contract.
-		for i, r := range blocks {
-			v, b := int(r.Ints[0]), int(r.Ints[1])
-			for t, val := range batch[i] {
+			v, b := r.Ints[0], r.Ints[1]
+			for t, val := range r.Data {
+				ints := a.Ints(3)
+				ints[0], ints[1], ints[2] = v, int64(t), b
+				data := a.Floats(1)
+				data[0] = val
 				emit(routeElem(saltCol, uint64(v), uint64(t), M), mpc.Record{
 					Tag:  TagElem,
-					Ints: []int64{int64(v), int64(t), int64(b)},
-					Data: []float64{val},
+					Ints: ints,
+					Data: data,
 				})
 			}
 		}
@@ -250,9 +344,14 @@ func DistFWHT(c *mpc.Cluster, d, blockC, workers int) error {
 		return err
 	}
 
-	// Assemble columns, transform, scatter back to row blocks.
+	// Assemble columns, transform, scatter back to row blocks. Column
+	// buffers and outgoing payloads both come from one per-machine arena:
+	// the columns are scratch that dies with the closure, the payloads
+	// escape into the receiving stores — both usages are safe because the
+	// arena is never Reset.
 	err = c.Round(func(m int, local []mpc.Record, emit mpc.Emit) []mpc.Record {
 		keep := local[:0:0]
+		a := arena.New()
 		type colID struct{ v, t int }
 		cols := make(map[colID][]float64)
 		for _, r := range local {
@@ -263,7 +362,7 @@ func DistFWHT(c *mpc.Cluster, d, blockC, workers int) error {
 			id := colID{v: int(r.Ints[0]), t: int(r.Ints[1])}
 			col := cols[id]
 			if col == nil {
-				col = make([]float64, rows)
+				col = a.Floats(rows)
 				cols[id] = col
 			}
 			col[r.Ints[2]] = r.Data[0]
@@ -287,10 +386,14 @@ func DistFWHT(c *mpc.Cluster, d, blockC, workers int) error {
 		FWHTBatch(batch, workers)
 		for i, id := range ids {
 			for j, val := range batch[i] {
+				ints := a.Ints(3)
+				ints[0], ints[1], ints[2] = int64(id.v), int64(j), int64(id.t)
+				data := a.Floats(1)
+				data[0] = val * scale
 				emit(routeElem(saltRow, uint64(id.v), uint64(j), M), mpc.Record{
 					Tag:  TagElem,
-					Ints: []int64{int64(id.v), int64(j), int64(id.t)},
-					Data: []float64{val * scale},
+					Ints: ints,
+					Data: data,
 				})
 			}
 		}
@@ -300,9 +403,11 @@ func DistFWHT(c *mpc.Cluster, d, blockC, workers int) error {
 		return err
 	}
 
-	// Reassemble row blocks locally.
+	// Reassemble row blocks locally. Block buffers are carved escape-mode:
+	// they become the at-rest store payloads.
 	return c.LocalMap(func(m int, local []mpc.Record) []mpc.Record {
 		keep := local[:0:0]
+		a := arena.New()
 		type rowID struct{ v, b int }
 		rowsAcc := make(map[rowID][]float64)
 		for _, r := range local {
@@ -313,7 +418,7 @@ func DistFWHT(c *mpc.Cluster, d, blockC, workers int) error {
 			id := rowID{v: int(r.Ints[0]), b: int(r.Ints[1])}
 			row := rowsAcc[id]
 			if row == nil {
-				row = make([]float64, blockC)
+				row = a.Floats(blockC)
 				rowsAcc[id] = row
 			}
 			row[r.Ints[2]] = r.Data[0]

@@ -113,6 +113,21 @@ type Cluster struct {
 	faults   *FaultPlan    // optional injection schedule (fault.go)
 	recovery RecoveryStats // checkpoint/restore overhead (checkpoint.go)
 	obs      *obsSink      // optional metrics export (obs.go); write-only
+
+	// Round scratch, reused across rounds. Growing these from zero every
+	// round was the dominant memory churn of element-heavy workloads (the
+	// per-destination delivery slices and per-machine emit buffers re-grow
+	// through every power of two, copying Record headers each time); the
+	// buffers are cleared after delivery so no payload outlives its round.
+	outsBuf    [][]roundMsg
+	deliverBuf [][]Record
+}
+
+// roundMsg is one emitted message buffered between a RoundFunc's emit call
+// and delivery.
+type roundMsg struct {
+	to  int
+	rec Record
 }
 
 // Errors returned by cluster operations.
@@ -358,11 +373,15 @@ func (c *Cluster) Round(fn RoundFunc) error {
 		locals[m] = st
 	}
 
-	type msg struct {
-		to  int
-		rec Record
+	if len(c.outsBuf) < M {
+		grown := make([][]roundMsg, M)
+		copy(grown, c.outsBuf)
+		c.outsBuf = grown
 	}
-	outs := make([][]msg, M)
+	outs := c.outsBuf
+	for m := 0; m < M; m++ {
+		outs[m] = outs[m][:0]
+	}
 	keeps := make([][]Record, M)
 	errs := make([]error, M)
 
@@ -384,7 +403,7 @@ func (c *Cluster) Round(fn RoundFunc) error {
 				if roundOver.Load() {
 					panic(fmt.Sprintf("mpc: machine %d called emit after its round ended; RoundFuncs must not retain emit across rounds", m))
 				}
-				outs[m] = append(outs[m], msg{to: to, rec: rec})
+				outs[m] = append(outs[m], roundMsg{to: to, rec: rec})
 			}
 			keeps[m] = fn(m, locals[m], emit)
 		}(m)
@@ -410,7 +429,7 @@ func (c *Cluster) Round(fn RoundFunc) error {
 		pm := c.faults.perMessage()
 		mangled := 0
 		for m := 0; m < M; m++ {
-			kept := make([]msg, 0, len(outs[m]))
+			kept := make([]roundMsg, 0, len(outs[m]))
 			for _, ms := range outs[m] {
 				if inj.r.Float64() < pm {
 					mangled++
@@ -428,9 +447,11 @@ func (c *Cluster) Round(fn RoundFunc) error {
 		}
 	}
 
-	// Validate send volumes and destinations.
+	// Validate send volumes and destinations. The same pass counts records
+	// per destination so delivery buffers can be sized exactly once.
 	stat := RoundStat{Index: c.m.Rounds}
 	recv := make([]int, M)
+	recvRecs := make([]int, M)
 	for m := 0; m < M; m++ {
 		sent := 0
 		for _, ms := range outs[m] {
@@ -440,6 +461,7 @@ func (c *Cluster) Round(fn RoundFunc) error {
 			w := ms.rec.Words()
 			sent += w
 			recv[ms.to] += w
+			recvRecs[ms.to]++
 		}
 		if sent > effCap {
 			err := fmt.Errorf("%w: machine %d sent %d words (cap %d)", ErrLocalMemory, m, sent, effCap)
@@ -468,7 +490,19 @@ func (c *Cluster) Round(fn RoundFunc) error {
 			return c.fail(err)
 		}
 	}
-	deliver := make([][]Record, M)
+	if len(c.deliverBuf) < M {
+		grown := make([][]Record, M)
+		copy(grown, c.deliverBuf)
+		c.deliverBuf = grown
+	}
+	deliver := c.deliverBuf
+	for m := 0; m < M; m++ {
+		if cap(deliver[m]) < recvRecs[m] {
+			deliver[m] = make([]Record, 0, recvRecs[m])
+		} else {
+			deliver[m] = deliver[m][:0]
+		}
+	}
 	for m := 0; m < M; m++ {
 		for _, ms := range outs[m] {
 			deliver[ms.to] = append(deliver[ms.to], ms.rec)
@@ -478,9 +512,18 @@ func (c *Cluster) Round(fn RoundFunc) error {
 		if len(deliver[m]) == 0 {
 			continue
 		}
+		// Transports copy the batch on Append (the local backend appends
+		// into its store slice), so the buffer is reusable next round.
 		if err := c.t.Append(m, deliver[m]); err != nil {
 			return c.fail(err)
 		}
+	}
+	// Drop payload references from the reused scratch so records don't
+	// outlive their round in a buffer the GC can't see past.
+	for m := 0; m < M; m++ {
+		clear(outs[m])
+		clear(deliver[m])
+		c.deliverBuf[m] = deliver[m][:0]
 	}
 	c.m.Rounds++
 	err := c.checkSpace(effCap)

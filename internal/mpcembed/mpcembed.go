@@ -34,7 +34,9 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"strconv"
 
+	"mpctree/internal/arena"
 	"mpctree/internal/grid"
 	"mpctree/internal/hst"
 	"mpctree/internal/mpc"
@@ -98,6 +100,17 @@ type Options struct {
 	// serially in store order, so the output tree — and every emitted
 	// record — is bit-identical for any worker count.
 	Workers int
+	// Scratch, if non-nil, is a caller-owned arena Embed carves this
+	// attempt's escaping record payloads from (the per-point load below;
+	// round-internal emissions use their own arenas). Ownership contract:
+	// carves escape into the cluster's stores, so the caller may Reset the
+	// arena only once the cluster no longer references them — in practice,
+	// at a retry boundary after a checkpoint Restore, which deep-copies
+	// stores and therefore orphans every carve the failed attempt made.
+	// The retrying pipeline driver (core.EmbedPipeline) is exactly that
+	// caller. Nil means Embed allocates a private escape-mode arena whose
+	// slabs the GC reclaims with the records.
+	Scratch *arena.Arena
 	// Span, if non-nil, receives child spans attributing cost to the
 	// Algorithm-2 phases: grid_construction (lines 1–3: diameter, grid
 	// draw, broadcast), root_paths (lines 4–6: per-point paths), and
@@ -253,10 +266,32 @@ func Embed(c *mpc.Cluster, pts []vec.Point, opt Options) (*hst.Tree, *Info, erro
 
 	// Input placement: one record per point (original dimension; padding
 	// to a bucket multiple is a local, distance-preserving operation each
-	// machine performs itself once r is fixed).
+	// machine performs itself once r is fixed). Keys are interned as
+	// substrings of one shared string — byte-identical to the historical
+	// fmt.Sprintf("pt|%d", i) — and the point-id Ints are carved from the
+	// attempt arena, so the load costs O(1) heap objects instead of 2n.
+	scratch := opt.Scratch
+	if scratch == nil {
+		scratch = arena.New()
+	}
 	recs := make([]mpc.Record, n)
+	ptKeyOff := make([]int, n+1)
+	ptKeyBuf := make([]byte, 0, n*8)
+	for i := 0; i < n; i++ {
+		ptKeyBuf = append(ptKeyBuf, 'p', 't', '|')
+		ptKeyBuf = strconv.AppendInt(ptKeyBuf, int64(i), 10)
+		ptKeyOff[i+1] = len(ptKeyBuf)
+	}
+	ptKeys := string(ptKeyBuf)
+	ptIDs := scratch.Ints(n)
 	for i, p := range pts {
-		recs[i] = mpc.Record{Key: fmt.Sprintf("pt|%d", i), Tag: TagPoint, Ints: []int64{int64(i)}, Data: p}
+		ptIDs[i] = int64(i)
+		recs[i] = mpc.Record{
+			Key:  ptKeys[ptKeyOff[i]:ptKeyOff[i+1]],
+			Tag:  TagPoint,
+			Ints: ptIDs[i : i+1 : i+1],
+			Data: p,
+		}
 	}
 	if err := c.Distribute(recs); err != nil {
 		return nil, nil, err
@@ -424,21 +459,55 @@ func Embed(c *mpc.Cluster, pts []vec.Point, opt Options) (*hst.Tree, *Info, erro
 		return nil, info, fmt.Errorf("%w: %d grids × %d words = %d > cap %d (r=%d, k=%d, U=%d)",
 			ErrGridsDontFit, u*r*levels, pl.gridRecWords, info.GridWords, c.CapWords(), r, k, u)
 	}
-	gridBlob := make([]mpc.Record, 0, u*r*levels)
+	// Grid generation is the embed's allocation hot spot: u·r·levels
+	// records at four heap objects each (key string, generator, shift,
+	// coordinate triple) dominated the whole pipeline's alloc profile.
+	// Keys are interned as substrings of one shared string — byte-identical
+	// to the fmt.Sprintf originals, so record Words and the Lemma-8 plan
+	// are untouched — payloads are carved from per-shard arenas (escape
+	// mode: the broadcast stores own them), and the shift sampling fans out
+	// over workers. Each grid reseeds its own generator from
+	// (seed, lev, j, uu), exactly as deriveGrid does, so the sampled
+	// variates are independent of the shard layout.
+	nGrids := u * r * levels
+	gridBlob := make([]mpc.Record, nGrids)
+	keyOff := make([]int, nGrids+1)
+	keyBuf := make([]byte, 0, nGrids*12)
 	for lev := 1; lev <= levels; lev++ {
-		w := diam / math.Pow(2, float64(lev))
 		for j := 0; j < r; j++ {
 			for uu := 0; uu < u; uu++ {
-				g := deriveGrid(opt.Seed, lev, j, uu, k, 4*w)
-				gridBlob = append(gridBlob, mpc.Record{
-					Key:  fmt.Sprintf("g|%d|%d|%d", lev, j, uu),
-					Tag:  TagGrid,
-					Ints: []int64{int64(lev), int64(j), int64(uu)},
-					Data: g.Shift,
-				})
+				keyBuf = append(keyBuf, 'g', '|')
+				keyBuf = strconv.AppendInt(keyBuf, int64(lev), 10)
+				keyBuf = append(keyBuf, '|')
+				keyBuf = strconv.AppendInt(keyBuf, int64(j), 10)
+				keyBuf = append(keyBuf, '|')
+				keyBuf = strconv.AppendInt(keyBuf, int64(uu), 10)
+				keyOff[(lev-1)*r*u+j*u+uu+1] = len(keyBuf)
 			}
 		}
 	}
+	keys := string(keyBuf)
+	gridPool := arena.NewPool(par.Workers(opt.Workers))
+	par.Shards(opt.Workers, nGrids, func(shard, lo, hi int) {
+		a := gridPool.Get(shard)
+		var rg rng.RNG
+		for gi := lo; gi < hi; gi++ {
+			lev := gi/(r*u) + 1
+			rem := gi % (r * u)
+			j, uu := rem/u, rem%u
+			w := diam / math.Pow(2, float64(lev))
+			rg.Reseed(opt.Seed, 0x9d1d, uint64(lev), uint64(j), uint64(uu))
+			g := grid.NewInto(&rg, a.Floats(k), 4*w)
+			ints := a.Ints(3)
+			ints[0], ints[1], ints[2] = int64(lev), int64(j), int64(uu)
+			gridBlob[gi] = mpc.Record{
+				Key:  keys[keyOff[gi]:keyOff[gi+1]],
+				Tag:  TagGrid,
+				Ints: ints,
+				Data: g.Shift,
+			}
+		}
+	})
 	if opt.SeedDerivedGrids {
 		// Derandomised-placement variant: every machine regenerates the
 		// grids from the shared O(1)-word seed — zero broadcast traffic,
@@ -462,14 +531,21 @@ func Embed(c *mpc.Cluster, pts []vec.Point, opt Options) (*hst.Tree, *Info, erro
 	// Step 3: local path computation + edge emission (map-side dedup).
 	M := c.Machines()
 	err := c.Round(func(m int, local []mpc.Record, emit mpc.Emit) []mpc.Record {
-		// Parse grids.
-		type gk struct{ lev, j, u int }
-		grids := make(map[gk]grid.Grid)
+		// Parse grids into a flat table indexed (lev-1)·r·u + j·u + uu —
+		// the map this replaces was rebuilt per machine per embed and its
+		// buckets were a fifth of the path round's allocated bytes; the
+		// table is one allocation and the hot-loop lookup is an add and an
+		// index. A missing grid record leaves a zero Grid, matching the
+		// old map-miss behaviour.
+		gridTab := make([]grid.Grid, levels*r*u)
 		var points []mpc.Record
 		for _, rec := range local {
 			switch rec.Tag {
 			case TagGrid:
-				grids[gk{int(rec.Ints[0]), int(rec.Ints[1]), int(rec.Ints[2])}] = grid.Grid{Dim: k, Cell: 4 * diam / math.Pow(2, float64(rec.Ints[0])), Shift: rec.Data}
+				lev, j, uu := int(rec.Ints[0]), int(rec.Ints[1]), int(rec.Ints[2])
+				if lev >= 1 && lev <= levels && j >= 0 && j < r && uu >= 0 && uu < u {
+					gridTab[(lev-1)*r*u+j*u+uu] = grid.Grid{Dim: k, Cell: 4 * diam / math.Pow(2, float64(lev)), Shift: rec.Data}
+				}
 			case TagPoint:
 				points = append(points, rec)
 			}
@@ -495,12 +571,17 @@ func Embed(c *mpc.Cluster, pts []vec.Point, opt Options) (*hst.Tree, *Info, erro
 		results := make([]ptResult, len(points))
 		par.For(opt.Workers, len(points), func(plo, phi int) {
 			var scratch [16]int64
+			var levelID []byte // reused across points; hashed before reuse
+			var padded vec.Point
 			for pi := plo; pi < phi; pi++ {
 				prec := points[pi]
 				pid := int(prec.Ints[0])
 				p := prec.Data
 				if len(p) < dPad {
-					padded := make(vec.Point, dPad)
+					if padded == nil {
+						padded = make(vec.Point, dPad)
+					}
+					clear(padded)
 					copy(padded, p)
 					p = padded
 				}
@@ -513,12 +594,12 @@ func Embed(c *mpc.Cluster, pts []vec.Point, opt Options) (*hst.Tree, *Info, erro
 				}
 				for lev := 1; lev <= levels && ok; lev++ {
 					// Joined ball id across buckets.
-					var levelID []byte
+					levelID = levelID[:0]
 					for j := 0; j < r && ok; j++ {
 						proj := vec.Bucket(p, j, r)
 						covered := false
 						for uu := 0; uu < u; uu++ {
-							g := grids[gk{lev, j, uu}]
+							g := gridTab[(lev-1)*r*u+j*u+uu]
 							if idx, in := g.InBall(proj, w, scratch[:0]); in {
 								levelID = append(levelID, byte(j))
 								var ub [8]byte
@@ -562,7 +643,9 @@ func Embed(c *mpc.Cluster, pts []vec.Point, opt Options) (*hst.Tree, *Info, erro
 				}
 			}
 		})
-		// Serial replay: dedup and emit in store order.
+		// Serial replay: dedup and emit in store order. Emitted payloads
+		// are carved escape-mode — the receiving stores own them.
+		ea := arena.New()
 		seenEdge := make(map[string]bool)
 		var keepPaths []mpc.Record
 		for pi, prec := range points {
@@ -573,11 +656,15 @@ func Embed(c *mpc.Cluster, pts []vec.Point, opt Options) (*hst.Tree, *Info, erro
 					continue
 				}
 				seenEdge[e.key] = true
+				ints := ea.Ints(3)
+				ints[0], ints[1], ints[2] = int64(e.lev), e.parHi, e.parLo
+				data := ea.Floats(1)
+				data[0] = e.weight
 				emit(hashTo(e.key, M), mpc.Record{
 					Key:  e.key,
 					Tag:  TagEdge,
-					Ints: []int64{int64(e.lev), e.parHi, e.parLo},
-					Data: []float64{e.weight},
+					Ints: ints,
+					Data: data,
 				})
 			}
 			if res.failLev > 0 {
@@ -589,11 +676,16 @@ func Embed(c *mpc.Cluster, pts []vec.Point, opt Options) (*hst.Tree, *Info, erro
 				keepPaths = append(keepPaths, mpc.Record{Key: fmt.Sprintf("path|%d", pid), Tag: TagPath, Ints: res.pathInts})
 			}
 			// Terminal leaf edge at level levels+1.
-			emit(hashTo(fmt.Sprintf("leaf|%d", pid), M), mpc.Record{
-				Key:  fmt.Sprintf("leaf|%d", pid),
+			leafKey := fmt.Sprintf("leaf|%d", pid)
+			ints := ea.Ints(4)
+			ints[0], ints[1], ints[2], ints[3] = int64(pid), int64(levels+1), res.leafHi, res.leafLo
+			data := ea.Floats(1)
+			data[0] = res.leafWeight
+			emit(hashTo(leafKey, M), mpc.Record{
+				Key:  leafKey,
 				Tag:  TagLeaf,
-				Ints: []int64{int64(pid), int64(levels + 1), res.leafHi, res.leafLo},
-				Data: []float64{res.leafWeight},
+				Ints: ints,
+				Data: data,
 			})
 		}
 		return keepPaths // grids and points are consumed; paths (if requested) stay resident

@@ -42,6 +42,19 @@ func splitmix64(state *uint64) uint64 {
 // projections can exhibit lattice artifacts (dead zones in shift space),
 // which we observed empirically; the byte-serial hash does not.
 func NewHashed(vals ...uint64) *RNG {
+	return New(fnvMix(vals))
+}
+
+// Reseed re-initialises r in place from the same byte-serial FNV-1a hash
+// NewHashed uses, producing a bitwise-identical stream without allocating:
+// the receiver is caller-owned (typically a loop-local value) and the
+// variadic slice never escapes, so hot loops that derive one generator per
+// grid pay zero heap objects.
+func (r *RNG) Reseed(vals ...uint64) {
+	r.seed(fnvMix(vals))
+}
+
+func fnvMix(vals []uint64) uint64 {
 	h := uint64(14695981039346656037) // FNV-64a offset basis
 	const prime = 1099511628211
 	for _, v := range vals {
@@ -50,13 +63,19 @@ func NewHashed(vals ...uint64) *RNG {
 			h *= prime
 		}
 	}
-	return New(h)
+	return h
 }
 
 // New returns a generator seeded deterministically from seed.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.seed(seed)
+	return r
+}
+
+func (r *RNG) seed(seed uint64) {
 	sm := seed
+	*r = RNG{}
 	r.s0 = splitmix64(&sm)
 	r.s1 = splitmix64(&sm)
 	r.s2 = splitmix64(&sm)
@@ -65,7 +84,6 @@ func New(seed uint64) *RNG {
 	if r.s0|r.s1|r.s2|r.s3 == 0 {
 		r.s0 = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
