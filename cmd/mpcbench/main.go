@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"mpctree/internal/mpc"
 	"mpctree/internal/mpcnet"
 	"mpctree/internal/obs"
+	"mpctree/internal/obs/fleet"
 	"mpctree/internal/par"
 	"mpctree/internal/quality"
 	"mpctree/internal/resilient"
@@ -52,10 +54,12 @@ func main() {
 	workers := flag.Int("workers", 0, "data-parallel workers for pure compute; results are identical for any value (0 = GOMAXPROCS)")
 	transport := flag.String("transport", "sim", "MPC record plane: sim | tcp")
 	transportAddrs := flag.String("transport-addrs", "", "comma-separated worker addresses (with -transport=tcp)")
+	transportObs := flag.String("transport-obs", "", "comma-separated worker debug-endpoint URLs, index-aligned with -transport-addrs (with -transport=tcp); auto-filled by -transport-spawn")
 	transportSpawn := flag.Int("transport-spawn", 0, "spawn this many local mpcworker processes instead of using -transport-addrs (with -transport=tcp)")
 	workerBin := flag.String("transport-worker-bin", "mpcworker", "worker binary for -transport-spawn")
 	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the experiments run (e.g. :9090)")
 	trace := flag.Bool("trace", false, "record per-round traces on every simulated cluster and print them after each experiment")
+	traceOut := flag.String("trace-out", "", "write the merged coordinator+worker span timeline as Chrome trace-event JSON (open in ui.perfetto.dev) to this file")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	logFormat := flag.String("log-format", "text", "log encoding: text|json")
 	flag.Parse()
@@ -84,13 +88,37 @@ func main() {
 	}
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers, Faults: *faults, FaultSeed: *faultSeed, MaxRetries: *maxRetries}
 
+	// Observability first: the tcp transport factory captures the registry
+	// and wire-span root, so they must exist before the switch below.
+	// Experiments run serially, so the traced slice needs no locking.
+	var reg *obs.Registry
+	var wireRoot, benchRoot *obs.Span
+	var traced []*mpc.Cluster
+	if *httpAddr != "" || *traceOut != "" {
+		reg = obs.New()
+		obs.RegisterBuildInfo(reg)
+		par.Instrument(reg)
+		resilient.Instrument(reg)
+		// Quality series ride the same registry: E17 publishes its audit
+		// reports through the collector, so a scrape of a live mpcbench
+		// run sees quality_* next to the mpc_* and par_* families.
+		cfg.Quality = quality.NewCollector(reg, quality.Config{Seed: *seed, Workers: *workers})
+	}
+	if *traceOut != "" {
+		benchRoot = obs.NewSpan("mpcbench")
+		// Wire spans get their own root so experiment spans stay clean.
+		wireRoot = obs.NewSpan("mpcnet_client")
+	}
+
 	// A TCP record plane: one worker fleet serves every experiment
 	// cluster; each cluster dials a fresh coordinator transport and
 	// resets the fleet's stores and sequence epoch before loading data.
+	var scraper *fleet.Scraper
 	switch *transport {
 	case "sim":
 	case "tcp":
 		addrs := splitAddrs(*transportAddrs)
+		obsURLs := splitAddrs(*transportObs)
 		if *transportSpawn > 0 {
 			procs, err := mpcnet.SpawnWorkers(*workerBin, *transportSpawn, mpcnet.SpawnOptions{Stderr: true})
 			if err != nil {
@@ -99,6 +127,7 @@ func main() {
 			}
 			defer mpcnet.KillAll(procs)
 			addrs = mpcnet.Addrs(procs)
+			obsURLs = mpcnet.ObsURLs(procs)
 			logger.Info("transport_spawned", "workers", len(procs), "addrs", strings.Join(addrs, ","))
 		}
 		if len(addrs) == 0 {
@@ -114,27 +143,26 @@ func main() {
 				fmt.Fprintln(os.Stderr, "mpcbench: dial worker fleet:", err)
 				os.Exit(2)
 			}
+			if reg != nil {
+				tr.Instrument(reg)
+			}
+			if wireRoot != nil {
+				tr.EnableTracing(wireRoot, *seed|1)
+			}
 			return tr
+		}
+		if reg != nil && len(obsURLs) > 0 {
+			targets := make([]fleet.Target, len(obsURLs))
+			for i, u := range obsURLs {
+				targets[i] = fleet.Target{ID: strconv.Itoa(i), URL: u}
+			}
+			scraper = fleet.New(reg, targets)
+			scraper.Start(time.Second)
+			defer scraper.Stop()
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "mpcbench: unknown -transport %q (sim | tcp)\n", *transport)
 		os.Exit(2)
-	}
-
-	// Observability: instrument every cluster the experiments create (the
-	// OnCluster hook) plus the shared par/resilient meters, and optionally
-	// serve them live. Experiments run serially, so the traced slice needs
-	// no locking.
-	var reg *obs.Registry
-	var traced []*mpc.Cluster
-	if *httpAddr != "" {
-		reg = obs.New()
-		par.Instrument(reg)
-		resilient.Instrument(reg)
-		// Quality series ride the same registry: E17 publishes its audit
-		// reports through the collector, so a scrape of a live mpcbench
-		// run sees quality_* next to the mpc_* and par_* families.
-		cfg.Quality = quality.NewCollector(reg, quality.Config{Seed: *seed, Workers: *workers})
 	}
 	if reg != nil || *trace {
 		cfg.OnCluster = func(c *mpc.Cluster) {
@@ -160,7 +188,9 @@ func main() {
 	failed := 0
 	for _, id := range ids {
 		start := time.Now()
+		esp := benchRoot.Child(id)
 		res, err := experiments.Run(id, cfg)
+		esp.End()
 		if err != nil {
 			logger.Error("experiment_error", "id", id, "error", err.Error())
 			fmt.Fprintf(os.Stderr, "%s: error: %v\n", id, err)
@@ -179,6 +209,26 @@ func main() {
 		traced = traced[:0]
 		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		failed += len(res.Failed())
+	}
+	benchRoot.End()
+	wireRoot.End()
+	if *traceOut != "" {
+		tprocs := []obs.TraceProcess{{Name: "coordinator"}}
+		if sn := benchRoot.Snapshot(); sn != nil {
+			tprocs[0].Roots = append(tprocs[0].Roots, sn)
+		}
+		if sn := wireRoot.Snapshot(); sn != nil {
+			tprocs[0].Roots = append(tprocs[0].Roots, sn)
+		}
+		if scraper != nil {
+			scraper.ScrapeOnce()
+			tprocs = append(tprocs, scraper.FetchSpans()...)
+		}
+		if err := obs.WriteChromeTraceFile(*traceOut, tprocs); err != nil {
+			fmt.Fprintln(os.Stderr, "mpcbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline written to %s (load in ui.perfetto.dev)\n", *traceOut)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d check(s) failed\n", failed)

@@ -19,6 +19,14 @@
 //	obscheck -url http://127.0.0.1:8080 \
 //	  -require quality_audit_runs_total -max-distortion 40 -min-audit-runs 1
 //
+// With -min-live-workers it additionally gates on the coordinator's
+// aggregated fleet series: at least that many worker_up series must
+// report 1, and a failure names exactly which workers are down. Every
+// gate failure names the offending series with its labels — "a threshold
+// was breached" without "by whom" is not actionable on a fleet.
+//
+//	obscheck -url http://127.0.0.1:9090 -min-live-workers 3
+//
 // Exit status: 0 when every check passes, 1 otherwise.
 package main
 
@@ -30,6 +38,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -45,6 +54,8 @@ func main() {
 
 		maxDistortion = flag.Float64("max-distortion", 0, "fail when the mean audited distortion ratio exceeds this (0 = no bound; implies the domination check)")
 		minAuditRuns  = flag.Int64("min-audit-runs", 0, "fail until quality_audit_runs_total (summed over trees) reaches this")
+
+		minLiveWorkers = flag.Int("min-live-workers", 0, "fail unless at least this many aggregated worker_up series report 1 (0 = skip the fleet gate)")
 	)
 	flag.Parse()
 
@@ -91,6 +102,12 @@ func main() {
 
 	if *maxDistortion > 0 || *minAuditRuns > 0 {
 		if err := checkQuality(*base, *maxDistortion, *minAuditRuns, *timeout); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	if *minLiveWorkers > 0 {
+		if err := checkFleet(*base, *minLiveWorkers, *timeout); err != nil {
 			fail("%v", err)
 		}
 	}
@@ -145,6 +162,7 @@ func checkQuality(base string, maxDistortion float64, minRuns int64, timeout tim
 		series := snap.Metrics
 		runs = 0
 		var domViol int64
+		var domOffenders []string
 		var histSum float64
 		var histCount int64
 		for _, v := range series {
@@ -153,6 +171,9 @@ func checkQuality(base string, maxDistortion float64, minRuns int64, timeout tim
 				runs += int64(v.Value)
 			case "quality_domination_violations_total":
 				domViol += int64(v.Value)
+				if v.Value > 0 {
+					domOffenders = append(domOffenders, fmt.Sprintf("%s = %d", seriesKey(v), int64(v.Value)))
+				}
 			case "quality_distortion_ratio":
 				histSum += v.Value
 				histCount += v.Count
@@ -166,7 +187,7 @@ func checkQuality(base string, maxDistortion float64, minRuns int64, timeout tim
 			return fmt.Errorf("quality_audit_runs_total = %d, want >= %d", runs, want)
 		}
 		if domViol > 0 {
-			return &hardError{fmt.Errorf("quality_domination_violations_total = %d (tree metric failed to dominate Euclidean)", domViol)}
+			return &hardError{fmt.Errorf("tree metric failed to dominate Euclidean: %s", strings.Join(domOffenders, ", "))}
 		}
 		if histCount == 0 {
 			return fmt.Errorf("quality_distortion_ratio has no observations yet")
@@ -182,6 +203,74 @@ func checkQuality(base string, maxDistortion float64, minRuns int64, timeout tim
 	}
 	fmt.Printf("obscheck: quality OK — %d audits, mean distortion %.3f, zero domination violations\n", runs, mean)
 	return nil
+}
+
+// checkFleet gates on the aggregated worker_* series the coordinator's
+// fleet scraper re-exports: at least minLive worker_up series must read
+// 1. Failures name the down workers by series — "worker_up{worker="2"}
+// = 0" points at the process to go look at.
+func checkFleet(base string, minLive int, timeout time.Duration) error {
+	var up, total int
+	var down []string
+	err := poll(timeout, func() error {
+		body, err := get(base + "/metrics.json")
+		if err != nil {
+			return err
+		}
+		var snap struct {
+			Metrics []obs.Value `json:"metrics"`
+		}
+		if err := json.Unmarshal(body, &snap); err != nil {
+			return fmt.Errorf("/metrics.json is not valid JSON: %v", err)
+		}
+		up, total = 0, 0
+		down = down[:0]
+		for _, v := range snap.Metrics {
+			if v.Name != "worker_up" {
+				continue
+			}
+			total++
+			if v.Value >= 1 {
+				up++
+			} else {
+				down = append(down, fmt.Sprintf("%s = 0", seriesKey(v)))
+			}
+		}
+		if total == 0 {
+			return fmt.Errorf("no worker_up series on /metrics.json (fleet scraper not running?)")
+		}
+		if up < minLive {
+			return fmt.Errorf("%d/%d workers up, want >= %d; down: %s", up, total, minLive, strings.Join(down, ", "))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	note := ""
+	if len(down) > 0 {
+		note = " (down: " + strings.Join(down, ", ") + ")"
+	}
+	fmt.Printf("obscheck: fleet OK — %d/%d workers up%s\n", up, total, note)
+	return nil
+}
+
+// seriesKey renders a scraped series with its labels in sorted-key order
+// — the form gate failures use to say WHICH series breached.
+func seriesKey(v obs.Value) string {
+	if len(v.Labels) == 0 {
+		return v.Name
+	}
+	keys := make([]string, 0, len(v.Labels))
+	for k := range v.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, v.Labels[k]))
+	}
+	return v.Name + "{" + strings.Join(parts, ",") + "}"
 }
 
 // hardError marks a check that polling can never fix (counters only go

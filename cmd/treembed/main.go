@@ -22,13 +22,16 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"mpctree"
 	"mpctree/internal/core"
 	"mpctree/internal/mpcnet"
 	"mpctree/internal/obs"
+	"mpctree/internal/obs/fleet"
 	"mpctree/internal/par"
 	"mpctree/internal/quality"
 	"mpctree/internal/resilient"
@@ -56,6 +59,7 @@ func main() {
 
 		transport      = flag.String("transport", "sim", "MPC record plane (with -mpc): sim | tcp")
 		transportAddrs = flag.String("transport-addrs", "", "comma-separated worker addresses (with -transport=tcp)")
+		transportObs   = flag.String("transport-obs", "", "comma-separated worker debug-endpoint URLs, index-aligned with -transport-addrs (with -transport=tcp); auto-filled by -transport-spawn")
 		transportSpawn = flag.Int("transport-spawn", 0, "spawn this many local mpcworker processes instead of using -transport-addrs (with -transport=tcp)")
 		workerBin      = flag.String("transport-worker-bin", "mpcworker", "worker binary for -transport-spawn")
 
@@ -67,6 +71,7 @@ func main() {
 		dotTo      = flag.String("dot", "", "write the tree as Graphviz DOT to this file")
 		httpAddr   = flag.String("http", "", "serve /metrics, /trace, /debug/vars and /debug/pprof on this address (e.g. :9090) and linger after the run until SIGINT/SIGTERM (with -mpc)")
 		trace      = flag.Bool("trace", false, "record and print the per-round communication/residency trace (with -mpc)")
+		traceOut   = flag.String("trace-out", "", "write the merged coordinator+worker span timeline as Chrome trace-event JSON (open in ui.perfetto.dev) to this file (with -mpc)")
 
 		audit      = flag.Bool("audit", false, "run the quality auditor on the built tree and print the report")
 		auditPairs = flag.Int("audit-pairs", 2048, "point pairs sampled by -audit (-1 = all pairs)")
@@ -85,8 +90,8 @@ func main() {
 		fail(err)
 	}
 
-	if (*httpAddr != "" || *trace) && !*useMPC {
-		fmt.Fprintln(os.Stderr, "treembed: -http and -trace require -mpc (they observe the simulated cluster)")
+	if (*httpAddr != "" || *trace || *traceOut != "") && !*useMPC {
+		fmt.Fprintln(os.Stderr, "treembed: -http, -trace and -trace-out require -mpc (they observe the simulated cluster)")
 		os.Exit(2)
 	}
 
@@ -106,46 +111,15 @@ func main() {
 	if *useMPC {
 		mopt := mpctree.MPCOptions{Machines: *machines, CapWords: 1 << 22, Seed: *seed, Workers: *workers, Trace: *trace}
 
-		// A real (TCP) record plane: workers are separate processes, so
-		// resilient execution is forced on — worker death must recover by
-		// checkpointed replay, not fail the run.
-		var netTransport *mpcnet.Transport
-		switch *transport {
-		case "sim":
-		case "tcp":
-			addrs := splitAddrs(*transportAddrs)
-			if *transportSpawn > 0 {
-				procs, err := mpcnet.SpawnWorkers(*workerBin, *transportSpawn, mpcnet.SpawnOptions{Stderr: true})
-				if err != nil {
-					fail(fmt.Errorf("spawn workers: %w", err))
-				}
-				defer mpcnet.KillAll(procs)
-				addrs = mpcnet.Addrs(procs)
-				fmt.Printf("transport: spawned %d workers (%s)\n", len(procs), strings.Join(addrs, ", "))
-			}
-			if len(addrs) == 0 {
-				fail(fmt.Errorf("-transport=tcp needs -transport-addrs or -transport-spawn"))
-			}
-			tr, err := mpcnet.Dial(mpcnet.Config{Addrs: addrs, Machines: *machines, Retry: mpcnet.RetryPolicy{Seed: *seed}})
-			if err != nil {
-				fail(err)
-			}
-			defer tr.Close()
-			netTransport = tr
-			mopt.Transport = tr
-			mopt.Pipeline.Resilient = true
-		default:
-			fail(fmt.Errorf("unknown -transport %q (sim | tcp)", *transport))
-		}
-
-		// Observability: a registry + root span feed the debug server (if
-		// any). Everything here is write-only instrumentation — the tree is
-		// bit-identical with or without it.
+		// Observability first: the tcp transport takes the registry and a
+		// wire-span root at dial time. Everything here is write-only
+		// instrumentation — the tree is bit-identical with or without it.
 		var reg *obs.Registry
-		var root *obs.Span
+		var root, wireRoot *obs.Span
 		var srv *obs.Server
-		if *httpAddr != "" || *audit {
+		if *httpAddr != "" || *audit || *traceOut != "" {
 			reg = obs.New()
+			obs.RegisterBuildInfo(reg)
 			par.Instrument(reg)
 			resilient.Instrument(reg)
 			root = obs.NewSpan("treembed")
@@ -159,6 +133,60 @@ func main() {
 				}
 				fmt.Printf("observability: http://%s (/metrics, /trace, /debug/vars, /debug/pprof)\n", srv.Addr())
 			}
+		}
+
+		// A real (TCP) record plane: workers are separate processes, so
+		// resilient execution is forced on — worker death must recover by
+		// checkpointed replay, not fail the run.
+		var netTransport *mpcnet.Transport
+		var scraper *fleet.Scraper
+		switch *transport {
+		case "sim":
+		case "tcp":
+			addrs := splitAddrs(*transportAddrs)
+			obsURLs := splitAddrs(*transportObs)
+			if *transportSpawn > 0 {
+				procs, err := mpcnet.SpawnWorkers(*workerBin, *transportSpawn, mpcnet.SpawnOptions{Stderr: true})
+				if err != nil {
+					fail(fmt.Errorf("spawn workers: %w", err))
+				}
+				defer mpcnet.KillAll(procs)
+				addrs = mpcnet.Addrs(procs)
+				obsURLs = mpcnet.ObsURLs(procs)
+				fmt.Printf("transport: spawned %d workers (%s)\n", len(procs), strings.Join(addrs, ", "))
+			}
+			if len(addrs) == 0 {
+				fail(fmt.Errorf("-transport=tcp needs -transport-addrs or -transport-spawn"))
+			}
+			tr, err := mpcnet.Dial(mpcnet.Config{Addrs: addrs, Machines: *machines, Retry: mpcnet.RetryPolicy{Seed: *seed}})
+			if err != nil {
+				fail(err)
+			}
+			defer tr.Close()
+			netTransport = tr
+			mopt.Transport = tr
+			mopt.Pipeline.Resilient = true
+			if reg != nil {
+				tr.Instrument(reg)
+			}
+			if *traceOut != "" {
+				// Wire spans live under their OWN root, not the pipeline
+				// root: phase leaves must stay leaves so the SumMetric
+				// leaf identity (and the printed phase table) is untouched.
+				wireRoot = obs.NewSpan("mpcnet_client")
+				tr.EnableTracing(wireRoot, *seed|1)
+			}
+			if reg != nil && len(obsURLs) > 0 {
+				targets := make([]fleet.Target, len(obsURLs))
+				for i, u := range obsURLs {
+					targets[i] = fleet.Target{ID: strconv.Itoa(i), URL: u}
+				}
+				scraper = fleet.New(reg, targets)
+				scraper.Start(time.Second)
+				defer scraper.Stop()
+			}
+		default:
+			fail(fmt.Errorf("unknown -transport %q (sim | tcp)", *transport))
 		}
 		if *audit {
 			mopt.Quality = mpctree.NewQualityCollector(reg,
@@ -225,8 +253,28 @@ func main() {
 			fmt.Print(mpctree.FormatRoundTrace(info.RoundTrace))
 		}
 		root.End()
+		wireRoot.End()
 		if root != nil {
 			fmt.Print(root.RenderString())
+		}
+		if *traceOut != "" {
+			// One last sweep so the timeline (and the fleet series a
+			// lingering /metrics serves) reflect the finished run.
+			tprocs := []obs.TraceProcess{{Name: "coordinator"}}
+			if sn := root.Snapshot(); sn != nil {
+				tprocs[0].Roots = append(tprocs[0].Roots, sn)
+			}
+			if sn := wireRoot.Snapshot(); sn != nil {
+				tprocs[0].Roots = append(tprocs[0].Roots, sn)
+			}
+			if scraper != nil {
+				scraper.ScrapeOnce()
+				tprocs = append(tprocs, scraper.FetchSpans()...)
+			}
+			if err := obs.WriteChromeTraceFile(*traceOut, tprocs); err != nil {
+				fail(err)
+			}
+			fmt.Printf("timeline written to %s (load in ui.perfetto.dev)\n", *traceOut)
 		}
 		if srv != nil {
 			// Linger so scrapers (CI smoke job, a browsing human) can read

@@ -104,6 +104,7 @@ func main() {
 	}
 
 	reg := obs.New()
+	obs.RegisterBuildInfo(reg)
 	par.Instrument(reg)
 	registry := serve.NewRegistry(reg)
 	if len(points) > 0 {

@@ -1,0 +1,174 @@
+// Observability sinks for the TCP record plane. Both halves of the
+// transport export to an obs.Registry through a sink struct that caches
+// the per-op-kind series cells, so the per-op cost of instrumentation is
+// one map lookup under a private lock — negligible next to a TCP round
+// trip, and exactly zero when no registry was attached.
+//
+// Coordinator series (mpcnet_*) measure the wire as the coordinator sees
+// it: per-attempt latency including dial and retry backoff effects.
+// Worker series (mpcworker_*) measure pure service time around apply(),
+// plus the dedup/session machinery that makes retries safe. The gap
+// between the two IS the network (plus queueing) — which is the point of
+// exporting both.
+//
+// Everything here is observational; sinks are write-only and nothing in
+// the transport reads a metric back. The bitwise-identity suites run with
+// and without instrumentation attached.
+package mpcnet
+
+import (
+	"sync"
+
+	"mpctree/internal/obs"
+)
+
+// opLatencyBuckets returns the shared latency bucket layout (seconds,
+// geometric ×5 from 100µs): the same shape the serve layer uses, so
+// coordinator, worker, and query-path latency histograms line up on
+// dashboards.
+func opLatencyBuckets() []float64 {
+	return []float64{1e-4, 5e-4, 2.5e-3, 1.25e-2, 6.25e-2, 0.3125, 1.5625, 7.8125, 25}
+}
+
+// transportSink holds the coordinator-side series cells.
+type transportSink struct {
+	reg *obs.Registry
+
+	mu        sync.Mutex
+	opSeconds map[Op]*obs.Histogram
+	opsTotal  map[Op]*obs.Counter
+	opErrors  map[Op]*obs.Counter
+
+	retries   *obs.Counter
+	redials   *obs.Counter
+	dead      *obs.Counter
+	remapped  *obs.Counter
+	bytesSent *obs.Counter
+	bytesRecv *obs.Counter
+}
+
+func newTransportSink(reg *obs.Registry) *transportSink {
+	return &transportSink{
+		reg:       reg,
+		opSeconds: make(map[Op]*obs.Histogram),
+		opsTotal:  make(map[Op]*obs.Counter),
+		opErrors:  make(map[Op]*obs.Counter),
+		retries:   reg.Counter("mpcnet_retries_total", "Op attempts beyond the first."),
+		redials:   reg.Counter("mpcnet_redials_total", "Worker reconnections established."),
+		dead:      reg.Counter("mpcnet_dead_workers_total", "Workers declared dead after retry exhaustion."),
+		remapped:  reg.Counter("mpcnet_remapped_machines_total", "Logical machines remapped onto surviving workers."),
+		bytesSent: reg.Counter("mpcnet_bytes_sent_total", "Frame bytes written to workers."),
+		bytesRecv: reg.Counter("mpcnet_bytes_received_total", "Frame bytes read from workers."),
+	}
+}
+
+// observeAttempt records one op attempt: its wire latency always, and its
+// outcome on the matching ops/errors counter.
+func (s *transportSink) observeAttempt(op Op, seconds float64, failed bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	h, ok := s.opSeconds[op]
+	if !ok {
+		h = s.reg.Histogram("mpcnet_op_seconds",
+			"Coordinator-observed wire latency per op attempt (dial + request + response).",
+			opLatencyBuckets(), "op", op.String())
+		s.opSeconds[op] = h
+	}
+	var c *obs.Counter
+	if failed {
+		c, ok = s.opErrors[op]
+		if !ok {
+			c = s.reg.Counter("mpcnet_op_errors_total", "Failed op attempts by op kind.", "op", op.String())
+			s.opErrors[op] = c
+		}
+	} else {
+		c, ok = s.opsTotal[op]
+		if !ok {
+			c = s.reg.Counter("mpcnet_ops_total", "Completed sequenced ops by op kind.", "op", op.String())
+			s.opsTotal[op] = c
+		}
+	}
+	s.mu.Unlock()
+	h.Observe(seconds)
+	c.Inc()
+}
+
+func (s *transportSink) addBytes(sent, received int64) {
+	if s == nil {
+		return
+	}
+	if sent > 0 {
+		s.bytesSent.Add(sent)
+	}
+	if received > 0 {
+		s.bytesRecv.Add(received)
+	}
+}
+
+// workerSink holds the worker-side series cells.
+type workerSink struct {
+	reg *obs.Registry
+
+	mu        sync.Mutex
+	opSeconds map[Op]*obs.Histogram
+	opsTotal  map[Op]*obs.Counter
+
+	dedupHits    *obs.Counter
+	staleRefused *obs.Counter
+	epochs       *obs.Counter
+	reqBytes     *obs.Counter
+	respBytes    *obs.Counter
+	resident     *obs.Gauge
+	peak         *obs.Gauge
+}
+
+func newWorkerSink(reg *obs.Registry) *workerSink {
+	return &workerSink{
+		reg:          reg,
+		opSeconds:    make(map[Op]*obs.Histogram),
+		opsTotal:     make(map[Op]*obs.Counter),
+		dedupHits:    reg.Counter("mpcworker_dedup_hits_total", "Retried frames answered from the cached response without re-applying."),
+		staleRefused: reg.Counter("mpcworker_stale_refused_total", "Frames refused as stale replays (seq below the high-water mark)."),
+		epochs:       reg.Counter("mpcworker_session_epochs_total", "Session epochs begun (OpReset applications)."),
+		reqBytes:     reg.Counter("mpcworker_request_bytes_total", "Request frame bytes received."),
+		respBytes:    reg.Counter("mpcworker_response_bytes_total", "Response frame bytes sent."),
+		resident:     reg.Gauge("mpcworker_resident_words", "Words currently resident across this worker's machine stores."),
+		peak:         reg.Gauge("mpcworker_peak_resident_words", "Peak resident words over the worker's lifetime — the paper's per-machine space bound, observed."),
+	}
+}
+
+// observeOp records one applied sequenced op's service time (around
+// apply() only — queueing and framing excluded).
+func (s *workerSink) observeOp(op Op, seconds float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	h, ok := s.opSeconds[op]
+	if !ok {
+		h = s.reg.Histogram("mpcworker_op_seconds",
+			"Worker-side service time per applied op (store mutation only, framing excluded).",
+			opLatencyBuckets(), "op", op.String())
+		s.opSeconds[op] = h
+	}
+	c, ok := s.opsTotal[op]
+	if !ok {
+		c = s.reg.Counter("mpcworker_ops_total", "Sequenced ops applied by op kind.", "op", op.String())
+		s.opsTotal[op] = c
+	}
+	s.mu.Unlock()
+	h.Observe(seconds)
+	c.Inc()
+}
+
+// setResident publishes the worker's current word footprint and raises
+// the peak watermark.
+func (s *workerSink) setResident(words int) {
+	if s == nil {
+		return
+	}
+	s.resident.Set(float64(words))
+	s.peak.SetMax(float64(words))
+}

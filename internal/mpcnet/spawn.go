@@ -18,7 +18,12 @@ import (
 // WorkerProc is one spawned worker process.
 type WorkerProc struct {
 	Addr string
-	Cmd  *exec.Cmd
+	// ObsURL is the worker's debug/metrics endpoint, parsed from the
+	// "MPCNET OBS <url>" line a worker prints BEFORE its LISTEN line.
+	// Empty when the worker does not self-observe (old binaries, the
+	// helper-process test workers) — callers must tolerate that.
+	ObsURL string
+	Cmd    *exec.Cmd
 }
 
 // Kill terminates the worker with SIGKILL and reaps it.
@@ -88,13 +93,22 @@ func SpawnWorkers(bin string, n int, opts SpawnOptions) ([]*WorkerProc, error) {
 		p := &WorkerProc{Cmd: cmd}
 		procs = append(procs, p)
 
-		addrCh := make(chan string, 1)
+		// The worker announces its obs endpoint (optional) and then its
+		// record-plane address; the scan records the former and breaks on
+		// the latter, so old binaries that never print OBS cost nothing.
+		type announce struct{ addr, obsURL string }
+		addrCh := make(chan announce, 1)
 		go func() {
+			var obsURL string
 			sc := bufio.NewScanner(stdout)
 			for sc.Scan() {
 				line := sc.Text()
+				if rest, ok := strings.CutPrefix(line, "MPCNET OBS "); ok {
+					obsURL = strings.TrimSpace(rest)
+					continue
+				}
 				if rest, ok := strings.CutPrefix(line, "MPCNET LISTEN "); ok {
-					addrCh <- strings.TrimSpace(rest)
+					addrCh <- announce{addr: strings.TrimSpace(rest), obsURL: obsURL}
 					break
 				}
 			}
@@ -105,11 +119,12 @@ func SpawnWorkers(bin string, n int, opts SpawnOptions) ([]*WorkerProc, error) {
 			}
 		}()
 		select {
-		case addr, ok := <-addrCh:
-			if !ok || addr == "" {
+		case a, ok := <-addrCh:
+			if !ok || a.addr == "" {
 				return fail(fmt.Errorf("worker %d exited before announcing its address", i))
 			}
-			p.Addr = addr
+			p.Addr = a.addr
+			p.ObsURL = a.obsURL
 		case <-time.After(timeout):
 			return fail(fmt.Errorf("worker %d did not announce an address within %v", i, timeout))
 		}
@@ -124,6 +139,16 @@ func Addrs(procs []*WorkerProc) []string {
 		addrs[i] = p.Addr
 	}
 	return addrs
+}
+
+// ObsURLs extracts the announced debug endpoints of a fleet, index-
+// aligned with Addrs. Entries are empty for workers that announced none.
+func ObsURLs(procs []*WorkerProc) []string {
+	urls := make([]string, len(procs))
+	for i, p := range procs {
+		urls[i] = p.ObsURL
+	}
+	return urls
 }
 
 // KillAll terminates a fleet, tolerating already-dead members.

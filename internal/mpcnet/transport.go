@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"mpctree/internal/mpc"
+	"mpctree/internal/obs"
 )
 
 // Config shapes a coordinator transport.
@@ -76,6 +77,19 @@ type Stats struct {
 	Remapped      int   // logical machines remapped onto survivors
 	BytesSent     int64 // frame bytes written
 	BytesReceived int64 // frame payload bytes read
+
+	// PerOp breaks the work down by op kind ("read", "append", …), so
+	// tail behaviour is visible per kind: a Words probe and a bulk Append
+	// have no business sharing a latency figure.
+	PerOp map[string]OpStats
+}
+
+// OpStats is one op kind's slice of the transport's work.
+type OpStats struct {
+	Ops     int   // successful attempts (completed ops)
+	Errors  int   // failed attempts (timeouts, refusals, torn connections)
+	TotalNs int64 // wall time summed over successful attempts
+	MaxNs   int64 // slowest successful attempt
 }
 
 // Transport implements mpc.Transport over TCP workers. Not safe for
@@ -88,6 +102,11 @@ type Transport struct {
 	assign []int      // logical machine → worker index
 	seq    uint64     // last sequenced-op seq issued
 	stats  Stats
+
+	sink      *transportSink // nil when not instrumented
+	traceRoot *obs.Span      // parent of per-attempt wire spans; nil disables
+	traceID   uint64
+	tracing   bool
 
 	mu sync.Mutex // guards Stats reads against the owner's op stream
 }
@@ -131,11 +150,45 @@ func Dial(cfg Config) (*Transport, error) {
 func (t *Transport) Name() string  { return "tcp" }
 func (t *Transport) Machines() int { return len(t.assign) }
 
-// Stats returns a snapshot of the transport's counters.
+// Stats returns a snapshot of the transport's counters. The PerOp map is
+// deep-copied; callers own the result.
 func (t *Transport) Stats() Stats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.stats
+	s := t.stats
+	if t.stats.PerOp != nil {
+		s.PerOp = make(map[string]OpStats, len(t.stats.PerOp))
+		for k, v := range t.stats.PerOp {
+			s.PerOp[k] = v
+		}
+	}
+	return s
+}
+
+// Instrument attaches a metrics registry: the transport's counters and
+// per-op latency histograms appear as mpcnet_* series. Call before the
+// first op; observational only.
+func (t *Transport) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	t.sink = newTransportSink(reg)
+}
+
+// EnableTracing turns on distributed tracing: every sequenced frame is
+// stamped with (traceID, per-attempt span id) and every op attempt opens
+// a child span under root covering dial + request + response — the
+// coordinator's view of wire time, to be read against the worker's
+// service-time spans. A nil root disables. Call before the first op.
+//
+// The per-attempt span id is seq<<8|attempt, so a worker-side span's
+// parent is recomputable from the coordinator span's own seq and attempt
+// metrics — that is what lets tests account for every wire op, retries
+// included, across the merged forest.
+func (t *Transport) EnableTracing(root *obs.Span, traceID uint64) {
+	t.traceRoot = root
+	t.traceID = traceID
+	t.tracing = root != nil
 }
 
 // LiveWorkers reports how many workers are still accepting ops.
@@ -183,13 +236,16 @@ func (t *Transport) exchangeResp(w int, req Frame) (Frame, error) {
 	t.mu.Lock()
 	t.stats.BytesSent += int64(len(buf))
 	t.mu.Unlock()
+	t.sink.addBytes(int64(len(buf)), 0)
 	resp, err := ReadFrame(conn)
 	if err != nil {
 		return Frame{}, err
 	}
+	received := int64(frameWireLen(resp))
 	t.mu.Lock()
-	t.stats.BytesReceived += int64(headerLen + len(resp.Payload) + trailerLen)
+	t.stats.BytesReceived += received
 	t.mu.Unlock()
+	t.sink.addBytes(0, received)
 	if resp.Seq != req.Seq {
 		return Frame{}, fmt.Errorf("%w: response seq %d for request seq %d", ErrWire, resp.Seq, req.Seq)
 	}
@@ -223,11 +279,32 @@ func (t *Transport) opWorker(w int, opCode Op, machine int32, payload []byte) (F
 			t.mu.Lock()
 			t.stats.Retries++
 			t.mu.Unlock()
+			if t.sink != nil {
+				t.sink.retries.Inc()
+			}
 			t.cfg.Retry.sleep(t.cfg.Retry.Backoff(req.Seq, attempt-1))
 		}
+
+		// One wire span per ATTEMPT, not per op: a retried op shows up as
+		// two spans, which is exactly how it spent the wall clock. The
+		// span id stamped on the frame is seq<<8|attempt so the worker's
+		// service span can name its true parent.
+		var span *obs.Span
+		if t.tracing {
+			req.Traced = true
+			req.Trace = TraceContext{TraceID: t.traceID, SpanID: req.Seq<<8 | uint64(attempt), Kind: opCode}
+			span = t.traceRoot.Child(opCode.String())
+			span.Add("seq", int64(req.Seq))
+			span.Add("machine", int64(machine))
+			span.Add("attempt", int64(attempt))
+			span.Add("worker", int64(w))
+		}
+		start := time.Now()
+
 		if t.conns[w] == nil {
 			conn, err := t.dial(w)
 			if err != nil {
+				t.endAttempt(span, opCode, start, true)
 				lastErr = err
 				continue
 			}
@@ -235,20 +312,27 @@ func (t *Transport) opWorker(w int, opCode Op, machine int32, payload []byte) (F
 			t.mu.Lock()
 			t.stats.Redials++
 			t.mu.Unlock()
+			if t.sink != nil {
+				t.sink.redials.Inc()
+			}
 		}
 		resp, err := t.exchangeResp(w, req)
 		if err != nil {
 			t.conns[w].Close()
 			t.conns[w] = nil
+			t.endAttempt(span, opCode, start, true)
 			lastErr = err
 			continue
 		}
 		if resp.Op == RespErr {
 			// The worker is alive but refused the op. Retrying the same
 			// bytes cannot succeed; fail without killing the worker.
+			t.endAttempt(span, opCode, start, true)
 			return Frame{}, fmt.Errorf("%w: worker %d rejected %s seq %d: %s",
 				mpc.ErrTransport, w, opCode, req.Seq, resp.Payload)
 		}
+		span.Add("resp_bytes", int64(len(resp.Payload)))
+		t.endAttempt(span, opCode, start, false)
 		t.mu.Lock()
 		t.stats.Ops++
 		t.mu.Unlock()
@@ -258,6 +342,33 @@ func (t *Transport) opWorker(w int, opCode Op, machine int32, payload []byte) (F
 	t.markDead(w)
 	return Frame{}, fmt.Errorf("%w: worker %d (%s) unreachable after %d attempts (%s machine %d): %v",
 		mpc.ErrTransport, w, t.cfg.Addrs[w], attempts, opCode, machine, lastErr)
+}
+
+// endAttempt closes one attempt's wire span and records its latency and
+// outcome in both the PerOp stats and the obs sink.
+func (t *Transport) endAttempt(span *obs.Span, opCode Op, start time.Time, failed bool) {
+	if failed {
+		span.Add("failed", 1)
+	}
+	span.End()
+	d := time.Since(start)
+	t.sink.observeAttempt(opCode, d.Seconds(), failed)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stats.PerOp == nil {
+		t.stats.PerOp = make(map[string]OpStats)
+	}
+	s := t.stats.PerOp[opCode.String()]
+	if failed {
+		s.Errors++
+	} else {
+		s.Ops++
+		s.TotalNs += d.Nanoseconds()
+		if d.Nanoseconds() > s.MaxNs {
+			s.MaxNs = d.Nanoseconds()
+		}
+	}
+	t.stats.PerOp[opCode.String()] = s
 }
 
 // Reset clears every live worker's stores and sequence state, beginning a
@@ -298,6 +409,9 @@ func (t *Transport) markDead(w int) {
 	t.mu.Lock()
 	t.stats.DeadWorkers++
 	t.mu.Unlock()
+	if t.sink != nil {
+		t.sink.dead.Inc()
+	}
 	if len(survivors) == 0 {
 		return
 	}
@@ -314,6 +428,9 @@ func (t *Transport) markDead(w int) {
 	t.mu.Lock()
 	t.stats.Remapped += remapped
 	t.mu.Unlock()
+	if t.sink != nil {
+		t.sink.remapped.Add(int64(remapped))
+	}
 }
 
 // Read fetches machine m's store. Remote reads decode into fresh slices,

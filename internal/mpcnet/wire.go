@@ -3,13 +3,31 @@
 //
 //	bytes 0..3   magic "MPW1"
 //	byte  4      op
-//	byte  5      flags (reserved, must be 0)
+//	byte  5      flags (bit 0 = trace context present; others must be 0)
 //	bytes 6..7   reserved (must be 0)
 //	bytes 8..15  seq     (uint64 LE) — idempotency sequence number
 //	bytes 16..19 machine (int32 LE)  — logical machine index, -1 if n/a
 //	bytes 20..23 payload length (uint32 LE)
+//	...          [trace context, 17 bytes, when flag bit 0 is set]
 //	...          payload
 //	last 4       CRC32-IEEE over header+payload (LE)
+//
+// Trace context (flagTrace): a compact distributed-tracing header so a
+// coordinator span and the worker-side span serving the same op can be
+// correlated across the process boundary:
+//
+//	bytes 0..7   trace id        (uint64 LE) — one id per coordinator run
+//	bytes 8..15  parent span id  (uint64 LE) — the coordinator's op span
+//	byte  16     op kind         — redundant with the header op byte, kept
+//	             so the context block is self-describing when logged alone
+//
+// The block counts toward the payload length and the CRC. Compatibility:
+// untraced frames are byte-identical to the pre-trace format; a traced
+// frame sent to a pre-trace worker fails loudly with ErrWire (nonzero
+// flags) instead of being misapplied, so a mixed-version fleet surfaces
+// as a transport error, never as silent corruption. Tracing is opt-in on
+// the coordinator (EnableTracing) precisely so upgraded coordinators stay
+// wire-compatible with old workers by default.
 //
 // The checksum makes payload corruption a detected transport failure
 // instead of a silently wrong tree: a frame that fails its CRC poisons
@@ -84,6 +102,10 @@ const (
 	wireMagic  = "MPW1"
 	headerLen  = 24
 	trailerLen = 4 // CRC32
+	// flagTrace marks a frame whose payload region begins with a traceLen-
+	// byte trace context block. Any other flag bit is a wire violation.
+	flagTrace = 0x01
+	traceLen  = 17
 	// maxPayload bounds a single frame. Stores are capped by the model's
 	// CapWords (words are 8 bytes), so legitimate frames are far smaller;
 	// the bound exists to stop a corrupted length field from driving a
@@ -96,25 +118,61 @@ const (
 // one can no longer be trusted to be frame-aligned and must be redialed.
 var ErrWire = errors.New("mpcnet: wire protocol violation")
 
+// TraceContext is the distributed-tracing header carried by a traced
+// frame: enough for the worker to attach its service span to the
+// coordinator span that issued the op, and nothing more.
+type TraceContext struct {
+	TraceID uint64 // one id per coordinator run
+	SpanID  uint64 // the coordinator-side op span this frame belongs to
+	Kind    Op     // request op kind (responses echo the request's kind)
+}
+
 // Frame is one decoded message.
 type Frame struct {
 	Op      Op
 	Seq     uint64
 	Machine int32
 	Payload []byte
+
+	// Traced marks a frame carrying a TraceContext. The context rides in
+	// the payload region on the wire but is stripped before Payload is
+	// handed to op handlers, so tracing never changes what an op sees.
+	Traced bool
+	Trace  TraceContext
 }
 
 // AppendFrame appends the encoded frame (header, payload, CRC) to dst.
 func AppendFrame(dst []byte, f Frame) []byte {
 	start := len(dst)
+	flags := byte(0)
+	plen := len(f.Payload)
+	if f.Traced {
+		flags = flagTrace
+		plen += traceLen
+	}
 	dst = append(dst, wireMagic...)
-	dst = append(dst, byte(f.Op), 0, 0, 0)
+	dst = append(dst, byte(f.Op), flags, 0, 0)
 	dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Machine))
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(plen))
+	if f.Traced {
+		dst = binary.LittleEndian.AppendUint64(dst, f.Trace.TraceID)
+		dst = binary.LittleEndian.AppendUint64(dst, f.Trace.SpanID)
+		dst = append(dst, byte(f.Trace.Kind))
+	}
 	dst = append(dst, f.Payload...)
 	sum := crc32.ChecksumIEEE(dst[start:])
 	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// frameWireLen is the frame's full on-the-wire size in bytes, trace
+// context and CRC included — the figure the byte accounting counters use.
+func frameWireLen(f Frame) int {
+	n := headerLen + len(f.Payload) + trailerLen
+	if f.Traced {
+		n += traceLen
+	}
+	return n
 }
 
 // WriteFrame encodes and writes one frame.
@@ -139,7 +197,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if string(hdr[:4]) != wireMagic {
 		return Frame{}, fmt.Errorf("%w: bad magic %q", ErrWire, hdr[:4])
 	}
-	if hdr[5] != 0 || hdr[6] != 0 || hdr[7] != 0 {
+	if hdr[5]&^byte(flagTrace) != 0 || hdr[6] != 0 || hdr[7] != 0 {
 		return Frame{}, fmt.Errorf("%w: nonzero reserved bytes", ErrWire)
 	}
 	plen := binary.LittleEndian.Uint32(hdr[20:24])
@@ -162,8 +220,22 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: checksum mismatch on %s frame seq %d (got %08x want %08x)",
 			ErrWire, f.Op, f.Seq, sum, want)
 	}
-	if plen > 0 {
-		f.Payload = rest[:plen:plen]
+	body := rest[:plen]
+	if hdr[5]&flagTrace != 0 {
+		if len(body) < traceLen {
+			return Frame{}, fmt.Errorf("%w: traced %s frame seq %d shorter than trace context (%d bytes)",
+				ErrWire, f.Op, f.Seq, len(body))
+		}
+		f.Traced = true
+		f.Trace = TraceContext{
+			TraceID: binary.LittleEndian.Uint64(body[0:8]),
+			SpanID:  binary.LittleEndian.Uint64(body[8:16]),
+			Kind:    Op(body[16]),
+		}
+		body = body[traceLen:]
+	}
+	if len(body) > 0 {
+		f.Payload = body[: len(body) : len(body)]
 	}
 	return f, nil
 }

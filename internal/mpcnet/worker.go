@@ -21,8 +21,10 @@ import (
 	"os"
 	"sync"
 	"syscall"
+	"time"
 
 	"mpctree/internal/mpc"
+	"mpctree/internal/obs"
 )
 
 // Worker serves machine stores over TCP. Safe for the sequential-
@@ -32,9 +34,17 @@ type Worker struct {
 	mu     sync.Mutex
 	stores map[int32][]mpc.Record
 
+	// Incremental word accounting mirrors stores so the residency gauge
+	// never needs an O(total) sweep on the op path.
+	machineWords map[int32]int
+	totalWords   int
+
 	lastSeq  uint64
 	lastResp Frame
 	haveResp bool
+
+	sink      *workerSink // nil when not instrumented
+	traceRoot *obs.Span   // parent of per-op service spans; nil disables
 
 	ops      int // sequenced ops processed (the die-after trigger counts these)
 	dieAfter int // kill self after this many ops; 0 disables
@@ -54,7 +64,33 @@ type Worker struct {
 
 // NewWorker returns an empty worker.
 func NewWorker() *Worker {
-	return &Worker{stores: make(map[int32][]mpc.Record)}
+	return &Worker{stores: make(map[int32][]mpc.Record), machineWords: make(map[int32]int)}
+}
+
+// Instrument attaches a metrics registry: per-op service-time histograms,
+// dedup/session counters, byte counters, and the resident-words gauges
+// appear as mpcworker_* series. Call before serving; observational only.
+func (w *Worker) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	w.mu.Lock()
+	w.sink = newWorkerSink(reg)
+	w.mu.Unlock()
+}
+
+// TraceRoot returns (creating on first call) the worker's persistent span
+// root. Once it exists, every TRACED frame gets a child service span
+// carrying the coordinator's trace/parent-span ids as metrics — untraced
+// traffic never grows the tree, which is what bounds it. Hand the root to
+// the debug server so /trace?format=json serves the forest.
+func (w *Worker) TraceRoot() *obs.Span {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.traceRoot == nil {
+		w.traceRoot = obs.NewSpan("mpcworker")
+	}
+	return w.traceRoot
 }
 
 // SetDieAfter arms the crash trigger: the worker dies upon processing its
@@ -98,7 +134,17 @@ func (w *Worker) serveConn(conn net.Conn) {
 			// retries under the original seq; nothing to clean up.
 			return
 		}
+		if w.sink != nil {
+			w.sink.reqBytes.Add(int64(frameWireLen(f)))
+		}
 		resp := w.handle(conn, f)
+		// Echo the trace context on every response — including cached
+		// dedup replays and refusals — so the coordinator can pin each
+		// response to the attempt that elicited it.
+		resp.Traced, resp.Trace = f.Traced, f.Trace
+		if w.sink != nil {
+			w.sink.respBytes.Add(int64(frameWireLen(resp)))
+		}
 		if err := WriteFrame(conn, resp); err != nil {
 			return
 		}
@@ -123,11 +169,17 @@ func (w *Worker) handle(conn net.Conn, f Frame) Frame {
 	switch {
 	case f.Seq == w.lastSeq && w.haveResp:
 		// Duplicate of the op just applied: replay the cached response.
+		if w.sink != nil {
+			w.sink.dedupHits.Inc()
+		}
 		return w.lastResp
 	case f.Seq <= w.lastSeq && f.Op != OpReset:
 		// OpReset is exempt: it begins a new session epoch, so a fresh
 		// coordinator's low seqs must not look stale next to the
 		// high-water mark its predecessor left behind.
+		if w.sink != nil {
+			w.sink.staleRefused.Inc()
+		}
 		return errFrame(f, "stale seq %d (high-water %d)", f.Seq, w.lastSeq)
 	}
 
@@ -139,7 +191,28 @@ func (w *Worker) handle(conn net.Conn, f Frame) Frame {
 		return Frame{Op: RespErr, Seq: f.Seq, Machine: f.Machine}
 	}
 
+	// A service span per TRACED frame, child of the coordinator attempt
+	// span named by the frame's trace context. Timing wraps apply() only:
+	// the delta between this span and the coordinator's wire span is the
+	// network plus framing, which is the comparison the merged timeline
+	// exists to show.
+	var span *obs.Span
+	if f.Traced && w.traceRoot != nil {
+		span = w.traceRoot.Child(f.Op.String())
+		span.Add("seq", int64(f.Seq))
+		span.Add("machine", int64(f.Machine))
+		span.Add("trace_id", int64(f.Trace.TraceID))
+		span.Add("parent_span", int64(f.Trace.SpanID))
+		span.Add("req_bytes", int64(len(f.Payload)))
+	}
+	start := time.Now()
 	resp := w.apply(f)
+	if w.sink != nil {
+		w.sink.observeOp(f.Op, time.Since(start).Seconds())
+		w.sink.setResident(w.totalWords)
+	}
+	span.End()
+
 	w.lastSeq = f.Seq
 	w.lastResp = resp
 	w.haveResp = true
@@ -157,10 +230,14 @@ func (w *Worker) apply(f Frame) Frame {
 		if err != nil {
 			return errFrame(f, "write payload: %v", err)
 		}
+		words := mpc.WordsOf(recs)
+		w.totalWords += words - w.machineWords[f.Machine]
 		if len(recs) == 0 {
 			delete(w.stores, f.Machine)
+			delete(w.machineWords, f.Machine)
 		} else {
 			w.stores[f.Machine] = recs
+			w.machineWords[f.Machine] = words
 		}
 		return Frame{Op: RespOK, Seq: f.Seq, Machine: f.Machine}
 	case OpAppend:
@@ -170,6 +247,9 @@ func (w *Worker) apply(f Frame) Frame {
 		}
 		if len(recs) > 0 {
 			w.stores[f.Machine] = append(w.stores[f.Machine], recs...)
+			words := mpc.WordsOf(recs)
+			w.machineWords[f.Machine] += words
+			w.totalWords += words
 		}
 		return Frame{Op: RespOK, Seq: f.Seq, Machine: f.Machine}
 	case OpWords:
@@ -179,6 +259,11 @@ func (w *Worker) apply(f Frame) Frame {
 		return Frame{Op: RespData, Seq: f.Seq, Machine: f.Machine, Payload: payload}
 	case OpReset:
 		w.stores = make(map[int32][]mpc.Record)
+		w.machineWords = make(map[int32]int)
+		w.totalWords = 0
+		if w.sink != nil {
+			w.sink.epochs.Inc()
+		}
 		return Frame{Op: RespOK, Seq: f.Seq, Machine: f.Machine}
 	}
 	return errFrame(f, "unknown op %d", byte(f.Op))

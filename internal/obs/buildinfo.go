@@ -1,0 +1,58 @@
+// build_info: the conventional always-1 gauge whose labels identify what
+// binary is actually running — the first thing a fleet dashboard joins
+// against, and the fastest way to spot a stale worker binary in a mixed
+// deployment.
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+)
+
+// RegisterBuildInfo registers the standard identity gauge on reg:
+//
+//	build_info{version="…", go_version="…", gomaxprocs="…"} 1
+//
+// version comes from the module build info (VCS revision when stamped,
+// "(devel)" under plain `go build`/`go run`, "unknown" without build
+// info). Every binary with an obs registry calls this at startup, so any
+// scrape — coordinator or worker — self-identifies.
+func RegisterBuildInfo(reg *Registry) {
+	reg.Gauge("build_info", "Build and runtime identity of this process; value is always 1.",
+		"version", buildVersion(),
+		"go_version", runtime.Version(),
+		"gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0)),
+	).Set(1)
+}
+
+// buildVersion extracts the most specific version identity available:
+// the VCS revision (short) when the binary was built from a checkout,
+// else the module version, else "unknown".
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + modified
+	}
+	if v := bi.Main.Version; v != "" {
+		return v
+	}
+	return "unknown"
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// traceDoc mirrors the emitted document shape for re-parsing in tests.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func parseTrace(t *testing.T, procs []TraceProcess) traceDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, procs); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.Bytes())
+	}
+	return doc
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	// Two processes snapshotted with different wall clocks: the worker's
+	// span starts 5µs after the coordinator's.
+	coord := &SpanSnapshot{
+		Name: "pipeline", StartUnixNs: 1_000_000_000, WallNs: 20_000,
+		Metrics: map[string]int64{"rounds": 3},
+		Children: []*SpanSnapshot{
+			{Name: "partition", StartUnixNs: 1_000_002_000, WallNs: 8_000},
+		},
+	}
+	worker := &SpanSnapshot{Name: "append", StartUnixNs: 1_000_005_000, WallNs: 2_000,
+		Metrics: map[string]int64{"seq": 7}}
+	doc := parseTrace(t, []TraceProcess{
+		{Name: "coordinator", Roots: []*SpanSnapshot{coord}},
+		{Name: "worker 0", Roots: []*SpanSnapshot{worker}},
+	})
+
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	byName := map[string][]int{}
+	for i, ev := range doc.TraceEvents {
+		byName[ev.Name] = append(byName[ev.Name], i)
+	}
+	// Metadata: one process_name per process, one thread_name per root.
+	if n := len(byName["process_name"]); n != 2 {
+		t.Errorf("process_name events = %d, want 2", n)
+	}
+	if n := len(byName["thread_name"]); n != 2 {
+		t.Errorf("thread_name events = %d, want 2", n)
+	}
+	// t0 normalization: the earliest span sits at ts=0; the worker span
+	// lands 5µs later despite living in another "process".
+	for _, ev := range doc.TraceEvents {
+		switch ev.Name {
+		case "pipeline":
+			if ev.Ts != 0 {
+				t.Errorf("earliest span ts = %v, want 0", ev.Ts)
+			}
+			if ev.Dur != 20 {
+				t.Errorf("pipeline dur = %vµs, want 20", ev.Dur)
+			}
+			if ev.Args["rounds"] != float64(3) {
+				t.Errorf("pipeline args = %v, want rounds=3", ev.Args)
+			}
+		case "partition":
+			if ev.Ts != 2 {
+				t.Errorf("child span ts = %vµs, want 2", ev.Ts)
+			}
+		case "append":
+			if ev.Ts != 5 {
+				t.Errorf("cross-process span ts = %vµs, want 5", ev.Ts)
+			}
+			if ev.Ph != "X" {
+				t.Errorf("span event ph = %q, want X", ev.Ph)
+			}
+		}
+	}
+	// Distinct processes get distinct pids; a process's spans share its pid.
+	pids := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "pipeline" || ev.Name == "append" {
+			pids[ev.Name] = ev.Pid
+		}
+	}
+	if pids["pipeline"] == pids["append"] {
+		t.Errorf("coordinator and worker share pid %d", pids["pipeline"])
+	}
+}
+
+func TestChromeTraceEmptyProcessKeepsRow(t *testing.T) {
+	// A dead worker whose span scrape failed contributes a nil-free empty
+	// Roots — it must still appear as a named (empty) row, and nil roots
+	// must be skipped without panicking.
+	doc := parseTrace(t, []TraceProcess{
+		{Name: "coordinator", Roots: []*SpanSnapshot{{Name: "run", StartUnixNs: 5, WallNs: 1}}},
+		{Name: "worker 2 (dead)", Roots: nil},
+		{Name: "worker 3", Roots: []*SpanSnapshot{nil}},
+	})
+	var names []string
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "process_name" {
+			names = append(names, ev.Args["name"].(string))
+		}
+	}
+	if len(names) != 3 {
+		t.Fatalf("process rows = %v, want all 3 processes", names)
+	}
+	for _, want := range []string{"coordinator", "worker 2 (dead)", "worker 3"} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Errorf("process %q missing from metadata rows", want)
+		}
+	}
+	// Exactly one real span event in the whole document.
+	var spans int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans != 1 {
+		t.Errorf("span events = %d, want 1", spans)
+	}
+}
+
+func TestChromeTraceLiveSpanRoundTrip(t *testing.T) {
+	// Snapshots from real spans (not literals) carry StartUnixNs, so
+	// cross-process merging has timestamps to work with.
+	root := NewSpan("root")
+	child := root.Child("work")
+	child.Add("items", 4)
+	child.End()
+	root.End()
+	sn := root.Snapshot()
+	if sn.StartUnixNs == 0 || sn.Children[0].StartUnixNs == 0 {
+		t.Fatal("live snapshots missing StartUnixNs — timeline merge has no clock")
+	}
+	if sn.Children[0].StartUnixNs < sn.StartUnixNs {
+		t.Fatal("child started before parent on the wall clock")
+	}
+	doc := parseTrace(t, []TraceProcess{{Name: "p", Roots: []*SpanSnapshot{sn}}})
+	var sawWork bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "work" && ev.Ph == "X" {
+			sawWork = true
+			if ev.Args["items"] != float64(4) {
+				t.Errorf("work args = %v, want items=4", ev.Args)
+			}
+		}
+	}
+	if !sawWork {
+		t.Fatal("child span missing from timeline")
+	}
+}
+
+func TestRegisterBuildInfoPromlintClean(t *testing.T) {
+	reg := New()
+	RegisterBuildInfo(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := buf.String()
+	families, err := ValidatePrometheus(text)
+	if err != nil {
+		t.Fatalf("build_info exposition fails promlint: %v\n%s", err, text)
+	}
+	var found bool
+	for _, f := range families {
+		found = found || f == "build_info"
+	}
+	if !found {
+		t.Fatalf("build_info family missing from exposition:\n%s", text)
+	}
+	for _, label := range []string{`version="`, `go_version="`, `gomaxprocs="`} {
+		if !strings.Contains(text, label) {
+			t.Errorf("build_info exposition missing %s label:\n%s", label, text)
+		}
+	}
+	if !strings.Contains(text, " 1\n") {
+		t.Errorf("build_info value is not 1:\n%s", text)
+	}
+	// Registering twice must not duplicate the family.
+	RegisterBuildInfo(reg)
+	var buf2 bytes.Buffer
+	if err := reg.WritePrometheus(&buf2); err != nil {
+		t.Fatalf("WritePrometheus after re-register: %v", err)
+	}
+	if c := strings.Count(buf2.String(), "# TYPE build_info "); c != 1 {
+		t.Errorf("build_info TYPE lines after re-register = %d, want 1", c)
+	}
+}

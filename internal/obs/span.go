@@ -47,6 +47,7 @@ type Span struct {
 	children []*Span
 
 	start      time.Time
+	startUnix  int64 // wall-clock UnixNano at start, for cross-process timelines
 	wallNs     int64
 	startAlloc uint64
 	allocBytes uint64
@@ -66,7 +67,8 @@ func readTotalAlloc() uint64 {
 
 // NewSpan starts a root span.
 func NewSpan(name string) *Span {
-	return &Span{name: name, start: time.Now(), startAlloc: readTotalAlloc(), metrics: map[string]int64{}}
+	now := time.Now()
+	return &Span{name: name, start: now, startUnix: now.UnixNano(), startAlloc: readTotalAlloc(), metrics: map[string]int64{}}
 }
 
 // Child starts a new child span. Nil-safe: a nil parent returns nil, so
@@ -75,7 +77,8 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name, start: time.Now(), startAlloc: readTotalAlloc(), metrics: map[string]int64{}}
+	now := time.Now()
+	c := &Span{name: name, start: now, startUnix: now.UnixNano(), startAlloc: readTotalAlloc(), metrics: map[string]int64{}}
 	spanMu.Lock()
 	s.children = append(s.children, c)
 	spanMu.Unlock()
@@ -125,12 +128,17 @@ func (s *Span) Metric(key string) int64 {
 // SpanSnapshot is the exported form of a span tree node — what /trace
 // serves as JSON and what Render draws.
 type SpanSnapshot struct {
-	Name       string           `json:"name"`
-	WallNs     int64            `json:"wall_ns"`
-	AllocBytes uint64           `json:"alloc_bytes"`
-	Running    bool             `json:"running,omitempty"`
-	Metrics    map[string]int64 `json:"metrics,omitempty"`
-	Children   []*SpanSnapshot  `json:"children,omitempty"`
+	Name string `json:"name"`
+	// StartUnixNs is the wall-clock start time (UnixNano). It exists so
+	// span forests snapshotted in DIFFERENT processes (coordinator +
+	// workers) can be merged onto one timeline; within a single process
+	// the monotonic WallNs is the trustworthy duration.
+	StartUnixNs int64            `json:"start_unix_ns,omitempty"`
+	WallNs      int64            `json:"wall_ns"`
+	AllocBytes  uint64           `json:"alloc_bytes"`
+	Running     bool             `json:"running,omitempty"`
+	Metrics     map[string]int64 `json:"metrics,omitempty"`
+	Children    []*SpanSnapshot  `json:"children,omitempty"`
 }
 
 // Snapshot copies the tree at this instant. Open spans report their wall
@@ -145,7 +153,7 @@ func (s *Span) Snapshot() *SpanSnapshot {
 }
 
 func (s *Span) snapshotLocked() *SpanSnapshot {
-	out := &SpanSnapshot{Name: s.name, WallNs: s.wallNs, AllocBytes: s.allocBytes, Running: !s.ended}
+	out := &SpanSnapshot{Name: s.name, StartUnixNs: s.startUnix, WallNs: s.wallNs, AllocBytes: s.allocBytes, Running: !s.ended}
 	if !s.ended {
 		out.WallNs = time.Since(s.start).Nanoseconds()
 	}
