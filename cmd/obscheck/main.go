@@ -27,6 +27,15 @@
 //
 //	obscheck -url http://127.0.0.1:9090 -min-live-workers 3
 //
+// Pointed at a treegate, -min-healthy-replicas gates on the replica
+// health the gate reports (gate_replica_healthy per backend), and -zero
+// fails on any nonzero sample of the named families — the gate-smoke
+// job uses it to assert the cache-consistency counter stayed at zero
+// under load:
+//
+//	obscheck -url http://127.0.0.1:8090 \
+//	  -min-healthy-replicas 3 -zero gate_cache_mismatch_total
+//
 // Exit status: 0 when every check passes, 1 otherwise.
 package main
 
@@ -56,6 +65,9 @@ func main() {
 		minAuditRuns  = flag.Int64("min-audit-runs", 0, "fail until quality_audit_runs_total (summed over trees) reaches this")
 
 		minLiveWorkers = flag.Int("min-live-workers", 0, "fail unless at least this many aggregated worker_up series report 1 (0 = skip the fleet gate)")
+
+		minHealthyReplicas = flag.Int("min-healthy-replicas", 0, "fail unless at least this many gate_replica_healthy series report 1 (0 = skip; treegate targets)")
+		zeroFamilies       = flag.String("zero", "", "comma-separated metric families whose every sample must be 0 (e.g. gate_cache_mismatch_total)")
 	)
 	flag.Parse()
 
@@ -108,6 +120,24 @@ func main() {
 
 	if *minLiveWorkers > 0 {
 		if err := checkFleet(*base, *minLiveWorkers, *timeout); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	if *minHealthyReplicas > 0 {
+		if err := checkReplicas(*base, *minHealthyReplicas, *timeout); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	if *zeroFamilies != "" {
+		var zeros []string
+		for _, z := range strings.Split(*zeroFamilies, ",") {
+			if z = strings.TrimSpace(z); z != "" {
+				zeros = append(zeros, z)
+			}
+		}
+		if err := checkZero(*base, zeros, *timeout); err != nil {
 			fail("%v", err)
 		}
 	}
@@ -252,6 +282,97 @@ func checkFleet(base string, minLive int, timeout time.Duration) error {
 		note = " (down: " + strings.Join(down, ", ") + ")"
 	}
 	fmt.Printf("obscheck: fleet OK — %d/%d workers up%s\n", up, total, note)
+	return nil
+}
+
+// scrapeValues fetches and decodes /metrics.json.
+func scrapeValues(base string) ([]obs.Value, error) {
+	body, err := get(base + "/metrics.json")
+	if err != nil {
+		return nil, err
+	}
+	var snap struct {
+		Metrics []obs.Value `json:"metrics"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, fmt.Errorf("/metrics.json is not valid JSON: %v", err)
+	}
+	return snap.Metrics, nil
+}
+
+// checkReplicas gates on the per-backend health a treegate exports: at
+// least minHealthy gate_replica_healthy series must read 1. Like the
+// fleet gate, failures name the down replicas — the poll loop rides out
+// a rolling restart, so only a replica that stays down fails the job.
+func checkReplicas(base string, minHealthy int, timeout time.Duration) error {
+	var up, total int
+	var down []string
+	err := poll(timeout, func() error {
+		series, err := scrapeValues(base)
+		if err != nil {
+			return err
+		}
+		up, total = 0, 0
+		down = down[:0]
+		for _, v := range series {
+			if v.Name != "gate_replica_healthy" {
+				continue
+			}
+			total++
+			if v.Value >= 1 {
+				up++
+			} else {
+				down = append(down, fmt.Sprintf("%s = 0", seriesKey(v)))
+			}
+		}
+		if total == 0 {
+			return fmt.Errorf("no gate_replica_healthy series on /metrics.json (target is not a treegate?)")
+		}
+		if up < minHealthy {
+			return fmt.Errorf("%d/%d replicas healthy, want >= %d; down: %s", up, total, minHealthy, strings.Join(down, ", "))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("obscheck: replicas OK — %d/%d healthy\n", up, total)
+	return nil
+}
+
+// checkZero fails on any nonzero sample of the named families. Counters
+// only go up, so a breach is a hard error — no point polling.
+func checkZero(base string, families []string, timeout time.Duration) error {
+	want := make(map[string]bool, len(families))
+	for _, f := range families {
+		want[f] = true
+	}
+	var checked int
+	err := poll(timeout, func() error {
+		series, err := scrapeValues(base)
+		if err != nil {
+			return err
+		}
+		checked = 0
+		var offenders []string
+		for _, v := range series {
+			if !want[v.Name] {
+				continue
+			}
+			checked++
+			if v.Value != 0 {
+				offenders = append(offenders, fmt.Sprintf("%s = %g", seriesKey(v), v.Value))
+			}
+		}
+		if len(offenders) > 0 {
+			return &hardError{fmt.Errorf("series required to be zero are not: %s", strings.Join(offenders, ", "))}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("obscheck: zero OK — %d samples across %s all zero\n", checked, strings.Join(families, ", "))
 	return nil
 }
 

@@ -8,6 +8,7 @@
 //	treembed -in points.csv -method grid -trees 10
 //	treembed -gen clusters -n 1000 -d 16 -mpc -machines 16
 //	treembed -gen clusters -n 500 -audit -save t.tree -save-points t.csv
+//	treembed -gen uniform -n 512 -store /var/trees -store-name demo
 //
 // The tool prints tree statistics, MPC accounting (with -mpc), and — for
 // n ≤ 2048 — measured distortion over the requested number of trees.
@@ -36,6 +37,7 @@ import (
 	"mpctree/internal/quality"
 	"mpctree/internal/resilient"
 	"mpctree/internal/stats"
+	"mpctree/internal/treestore"
 	"mpctree/internal/vec"
 	"mpctree/internal/workload"
 )
@@ -67,6 +69,8 @@ func main() {
 		faultSeed  = flag.Uint64("fault-seed", 0, "fault-schedule seed (0 = derive from -seed)")
 		maxRetries = flag.Int("max-retries", 0, "per-stage retry budget under -faults (0 = auto 40, -1 = none)")
 		saveTo     = flag.String("save", "", "write the embedding tree (binary) to this file")
+		storeDir   = flag.String("store", "", "publish the embedding tree as a new version in this tree store directory (serve it with treeserve -store)")
+		storeName  = flag.String("store-name", "", "tree name inside -store (default: the -store-name of the previous version, else \"tree\")")
 		savePts    = flag.String("save-points", "", "write the (deduplicated) embedded points to this file, exact round-trip precision")
 		dotTo      = flag.String("dot", "", "write the tree as Graphviz DOT to this file")
 		httpAddr   = flag.String("http", "", "serve /metrics, /trace, /debug/vars and /debug/pprof on this address (e.g. :9090) and linger after the run until SIGINT/SIGTERM (with -mpc)")
@@ -249,6 +253,11 @@ func main() {
 			}
 			fmt.Printf("saved to %s\n", *saveTo)
 		}
+		if *storeDir != "" {
+			if err := publishTree(tree, *storeDir, *storeName); err != nil {
+				fail(err)
+			}
+		}
 		if *trace {
 			fmt.Print(mpctree.FormatRoundTrace(info.RoundTrace))
 		}
@@ -319,6 +328,11 @@ func main() {
 		}
 		fmt.Printf("saved to %s\n", *saveTo)
 	}
+	if *storeDir != "" {
+		if err := publishTree(tree, *storeDir, *storeName); err != nil {
+			fail(err)
+		}
+	}
 	if *dotTo != "" {
 		if err := dumpDOT(tree, *dotTo); err != nil {
 			fail(err)
@@ -360,6 +374,25 @@ func printAudit(rep *quality.Report) {
 		"max_ratio", rep.MaxRatio, "min_ratio", rep.MinRatio,
 		"p95_ratio", rep.P95Ratio, "domination_violations", rep.DominationViolations,
 		"bound_violated", rep.BoundViolated)
+}
+
+// publishTree saves the built tree as a new version in the tree store
+// (crash-safe: bytes and manifest land before CURRENT advances) and
+// prints the manifest identity replicas will verify against.
+func publishTree(t *mpctree.Tree, dir, name string) error {
+	st, err := treestore.Open(dir)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		name = "tree"
+	}
+	m, err := st.Save(name, t)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stored as %s v%d in %s (%d bytes, sha256 %s…)\n", m.Name, m.Version, dir, m.Bytes, m.SHA256[:12])
+	return nil
 }
 
 func saveTree(t *mpctree.Tree, path string) error {

@@ -8,7 +8,15 @@
 // auditor measures distortion against the Euclidean metric after every
 // load and hot reload, publishing quality_* metrics and /v1/quality.
 //
+// Trees come from explicit files (-tree name=path) or from a versioned
+// tree store directory (-store, see treembed -store / docs/SERVING.md):
+// every tree in the store is loaded at its CURRENT version with full
+// manifest verification (byte length, sha256), and a hot reload re-reads
+// CURRENT, so pushing a new version and POSTing /v1/trees/reload rolls
+// the server forward without a restart.
+//
 //	treeserve -tree demo=t.tree -addr :8080
+//	treeserve -store /var/trees -addr :8080
 //	treeserve -tree demo=t.tree -points demo=t.csv -audit-pairs 1024
 //	treeserve -tree a=a.tree -tree b=b.tree -deadline 5s -workers 4
 //	treeserve -tree demo=t.tree -selftest -clients 8 -queries 20000
@@ -49,6 +57,7 @@ import (
 	"mpctree/internal/par"
 	"mpctree/internal/quality"
 	"mpctree/internal/serve"
+	"mpctree/internal/treestore"
 )
 
 // repeatFlags collects repeated name=path arguments (-tree, -points).
@@ -67,6 +76,7 @@ func main() {
 	flag.Var(&trees, "tree", "name=path of a tree written by treembed -save (repeatable, required)")
 	flag.Var(&points, "points", "name=path of the named tree's original points (repeatable; enables background quality audits)")
 	var (
+		storeDir = flag.String("store", "", "versioned tree store directory (loads every tree in it; see treembed -store)")
 		addr     = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
 		workers  = flag.Int("workers", 0, "data-parallel workers per batch request (0 = GOMAXPROCS)")
 		deadline = flag.Duration("deadline", 30*time.Second, "per-request wall budget (answers 503 when exceeded)")
@@ -97,8 +107,8 @@ func main() {
 		fail(err)
 	}
 
-	if len(trees) == 0 {
-		fmt.Fprintln(os.Stderr, "treeserve: at least one -tree name=path is required")
+	if len(trees) == 0 && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "treeserve: at least one -tree name=path or a -store directory is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -117,6 +127,16 @@ func main() {
 	}
 	var firstName string
 	var firstPoints int
+	loaded := 0
+	noteLoaded := func(name, path string) {
+		t, _ := registry.Get(name)
+		logger.Info("tree_loaded", "tree", name, "path", path,
+			"points", t.NumPoints(), "nodes", t.NumNodes(), "height", t.Height())
+		if firstName == "" {
+			firstName, firstPoints = name, t.NumPoints()
+		}
+		loaded++
+	}
 	for _, spec := range trees {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {
@@ -125,11 +145,26 @@ func main() {
 		if err := registry.Load(name, path); err != nil {
 			fail(err)
 		}
-		t, _ := registry.Get(name)
-		logger.Info("tree_loaded", "tree", name, "path", path,
-			"points", t.NumPoints(), "nodes", t.NumNodes(), "height", t.Height())
-		if firstName == "" {
-			firstName, firstPoints = name, t.NumPoints()
+		noteLoaded(name, path)
+	}
+	if *storeDir != "" {
+		st, err := treestore.Open(*storeDir)
+		if err != nil {
+			fail(err)
+		}
+		names, err := st.Names()
+		if err != nil {
+			fail(err)
+		}
+		if len(names) == 0 && len(trees) == 0 {
+			fail(fmt.Errorf("store %s holds no trees", *storeDir))
+		}
+		for _, name := range names {
+			if err := registry.LoadWith(name, serve.StoreLoader(st, name)); err != nil {
+				fail(err)
+			}
+			version, _ := st.Current(name)
+			noteLoaded(name, st.TreePath(name, version))
 		}
 	}
 	for _, spec := range points {
@@ -175,7 +210,7 @@ func main() {
 			fail(err)
 		}
 	}()
-	logger.Info("serving", "addr", "http://"+ln.Addr().String(), "trees", len(trees))
+	logger.Info("serving", "addr", "http://"+ln.Addr().String(), "trees", loaded)
 
 	if *selftest {
 		report := serve.RunLoad("http://"+ln.Addr().String(), firstName, firstPoints, serve.LoadOptions{

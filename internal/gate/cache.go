@@ -1,0 +1,124 @@
+// The answer cache: a bounded, deterministic LRU over raw response
+// bytes for hot dist/knn queries. Keys embed the answering tree's
+// content fingerprint — the store manifest version when the replica
+// serves from a versioned store, else the (generation, backend) pair —
+// so a hit can never cross generations: after a hot reload the
+// fingerprint changes and every stale entry simply stops matching.
+// Values are the backend's response bytes verbatim, which is what makes
+// a cache hit bit-identical to the direct replica answer at the same
+// generation. Eviction is strict LRU — a pure function of the
+// get/put sequence, nothing time- or randomness-dependent.
+package gate
+
+import (
+	"container/list"
+	"sync"
+
+	"mpctree/internal/obs"
+)
+
+// cacheEntry is one cached answer.
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// Cache is a mutex-guarded LRU of response bytes.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+
+	hits, misses, evictions *obs.Counter
+	entries                 *obs.Gauge
+}
+
+// NewCache builds an LRU holding at most max entries (max <= 0 disables
+// caching: Get always misses, Put is a no-op). reg may be nil.
+func NewCache(max int, reg *obs.Registry) *Cache {
+	c := &Cache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+	if reg != nil {
+		c.hits = reg.Counter("gate_cache_hits_total", "Answer-cache hits.")
+		c.misses = reg.Counter("gate_cache_misses_total", "Answer-cache misses.")
+		c.evictions = reg.Counter("gate_cache_evictions_total", "Answer-cache LRU evictions.")
+		c.entries = reg.Gauge("gate_cache_entries", "Answers currently cached.")
+	}
+	return c
+}
+
+// Get returns the cached bytes for key. The returned slice is shared —
+// callers must not mutate it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c.max <= 0 {
+		if c.misses != nil {
+			c.misses.Inc()
+		}
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		if c.misses != nil {
+			c.misses.Inc()
+		}
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	if c.hits != nil {
+		c.hits.Inc()
+	}
+	return el.Value.(*cacheEntry).data, true
+}
+
+// Put stores data under key, evicting the least-recently-used entry
+// when full. Storing an existing key refreshes its bytes and recency.
+func (c *Cache) Put(key string, data []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		if c.evictions != nil {
+			c.evictions.Inc()
+		}
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	if c.entries != nil {
+		c.entries.Set(float64(c.ll.Len()))
+	}
+}
+
+// Drop removes key if present (used when a consistency double-check
+// finds the entry no longer matches the backend).
+func (c *Cache) Drop(key string) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		if c.entries != nil {
+			c.entries.Set(float64(c.ll.Len()))
+		}
+	}
+}
+
+// Len reports the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

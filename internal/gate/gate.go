@@ -1,0 +1,760 @@
+// Package gate is treegate's engine: an HTTP front tier that spreads
+// tree-metric queries across a fleet of treeserve replicas. It layers,
+// bottom to top:
+//
+//   - a consistent-hash Ring (ring.go) that gives every query a
+//     deterministic owner replica and failover order;
+//   - replica health tracking (health.go) fed by background polls of
+//     GET /v1/trees and by forward-path failures, including a manifest
+//     version coherence view across the fleet;
+//   - per-request retry with the deterministic jittered exponential
+//     backoff idiom from internal/mpcnet — a failed attempt walks the
+//     preference list, and full sweeps back off before retrying, so a
+//     rolling replica restart is absorbed without client-visible errors;
+//   - a bounded deterministic LRU answer cache (cache.go) for hot
+//     dist/knn requests keyed by (tree, content fingerprint, body) —
+//     hits are the replica's bytes verbatim and can never cross a
+//     generation;
+//   - ensemble fan-out: a dist query against a configured ensemble name
+//     queries its k independently-seeded member trees and answers the
+//     elementwise min, folded serially in member order so the result is
+//     bit-identical to a serial min at any fan-out width.
+//
+// Everything is metered on gate_* series (see docs/OBSERVABILITY.md).
+package gate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpctree/internal/mpcnet"
+	"mpctree/internal/obs"
+	"mpctree/internal/serve"
+)
+
+// Options configures a Gateway.
+type Options struct {
+	// Backends are the treeserve replica base URLs (http://host:port).
+	Backends []string
+	// Ensembles maps an ensemble name to its member tree names. A dist
+	// query naming an ensemble fans across the members and answers the
+	// elementwise min distance.
+	Ensembles map[string][]string
+	// VNodes is the virtual nodes per backend on the ring (0 = 64).
+	VNodes int
+	// CacheSize bounds the answer cache in entries (0 = 4096, <0 = off).
+	CacheSize int
+	// CacheCheckEvery, when > 0, re-forwards every Nth cache hit to the
+	// backend and compares bytes, counting any disagreement on
+	// gate_cache_mismatch_total — the consistency proof CI gates on.
+	CacheCheckEvery int
+	// Retry is the per-request retry/backoff policy (mpcnet idiom:
+	// deterministic jitter from (Seed, request seq, attempt)). Its
+	// MaxAttempts bounds full sweeps over the preference list.
+	Retry mpcnet.RetryPolicy
+	// HealthInterval paces the background /v1/trees polls (0 = 1s).
+	HealthInterval time.Duration
+	// Timeout bounds one backend HTTP attempt (0 = 30s).
+	Timeout time.Duration
+	// MaxBodyBytes caps inbound request bodies (0 = 8 MiB).
+	MaxBodyBytes int64
+	// Obs is the metrics sink; nil = unmetered.
+	Obs *obs.Registry
+	// Logger, if non-nil, logs health transitions and request errors.
+	Logger *slog.Logger
+}
+
+// Gateway fronts a fleet of treeserve replicas.
+type Gateway struct {
+	ring      *Ring
+	backends  []*backendState
+	byURL     map[string]*backendState
+	ensembles map[string][]string
+	cache     *Cache
+	checkN    int
+	retry     mpcnet.RetryPolicy
+	rounds    int
+	interval  time.Duration
+	maxBody   int64
+	client    *http.Client
+	logger    *slog.Logger
+
+	seq      atomic.Uint64 // request sequence, feeds backoff jitter
+	hitSeq   atomic.Uint64 // cache hits, drives the every-Nth double-check
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	reg             *obs.Registry
+	replicasHealthy *obs.Gauge
+	replicaCoherent *obs.Gauge
+	versionSkew     *obs.Counter
+	cacheMismatch   *obs.Counter
+	ensembleReqs    *obs.Counter
+}
+
+// New builds a Gateway over the configured replica fleet. Call Start to
+// begin health polling and Stop to halt it.
+func New(opts Options) (*Gateway, error) {
+	if len(opts.Backends) == 0 {
+		return nil, fmt.Errorf("gate: no backends configured")
+	}
+	cacheSize := opts.CacheSize
+	if cacheSize == 0 {
+		cacheSize = 4096
+	}
+	interval := opts.HealthInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	maxBody := opts.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 8 << 20
+	}
+	rounds := opts.Retry.MaxAttempts
+	if rounds <= 0 {
+		rounds = 4
+	}
+	g := &Gateway{
+		ring:      NewRing(opts.Backends, opts.VNodes),
+		byURL:     make(map[string]*backendState, len(opts.Backends)),
+		ensembles: opts.Ensembles,
+		cache:     NewCache(cacheSize, opts.Obs),
+		checkN:    opts.CacheCheckEvery,
+		retry:     opts.Retry,
+		rounds:    rounds,
+		interval:  interval,
+		maxBody:   maxBody,
+		client:    &http.Client{Timeout: timeout},
+		logger:    opts.Logger,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		reg:       opts.Obs,
+	}
+	for _, url := range opts.Backends {
+		if _, dup := g.byURL[url]; dup {
+			return nil, fmt.Errorf("gate: duplicate backend %q", url)
+		}
+		b := &backendState{url: url}
+		g.backends = append(g.backends, b)
+		g.byURL[url] = b
+	}
+	for name, members := range g.ensembles {
+		if name == "" || len(members) == 0 {
+			return nil, fmt.Errorf("gate: ensemble %q has no members", name)
+		}
+	}
+	if g.reg != nil {
+		g.replicasHealthy = g.reg.Gauge("gate_replicas_healthy", "Backends currently answering health polls.")
+		g.replicaCoherent = g.reg.Gauge("gate_replica_coherent", "1 when every healthy replica serves every store-versioned tree at the same manifest version.")
+		g.versionSkew = g.reg.Counter("gate_version_skew_total", "Health polls that found replicas disagreeing on a tree's manifest version.")
+		g.cacheMismatch = g.reg.Counter("gate_cache_mismatch_total", "Cache consistency double-checks where the cached bytes differed from the live backend answer at the same fingerprint (must stay 0).")
+		g.ensembleReqs = g.reg.Counter("gate_ensemble_requests_total", "Dist requests answered by ensemble fan-out.")
+	}
+	return g, nil
+}
+
+// setReplicaHealth updates the labelled per-backend health gauge.
+func (g *Gateway) setReplicaHealth(url string, up bool) {
+	if g.reg == nil {
+		return
+	}
+	v := 0.0
+	if up {
+		v = 1
+	}
+	g.reg.Gauge("gate_replica_healthy", "1 when the labelled backend is answering, 0 when it is failed out.", "backend", url).Set(v)
+}
+
+// Start primes every backend with one synchronous poll (so routing has
+// a health view before the first request) and launches the background
+// poller.
+func (g *Gateway) Start() {
+	g.poll()
+	go func() {
+		defer close(g.done)
+		t := time.NewTicker(g.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-g.stop:
+				return
+			case <-t.C:
+				g.poll()
+			}
+		}
+	}()
+}
+
+// Stop halts the health poller. Safe to call more than once.
+func (g *Gateway) Stop() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	<-g.done
+}
+
+// prefer returns the ring's preference list for key with healthy
+// backends moved to the front (stable within each class), so failed
+// replicas are only tried as a last resort.
+func (g *Gateway) prefer(key string) []*backendState {
+	urls := g.ring.Prefer(key)
+	out := make([]*backendState, 0, len(urls))
+	for _, u := range urls {
+		if b := g.byURL[u]; b.healthy.Load() {
+			out = append(out, b)
+		}
+	}
+	for _, u := range urls {
+		if b := g.byURL[u]; !b.healthy.Load() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// fwdResult is one backend's complete answer.
+type fwdResult struct {
+	status  int
+	body    []byte
+	backend string
+}
+
+// tryBackend issues one attempt against one backend.
+func (g *Gateway) tryBackend(b *backendState, path string, body []byte) (*fwdResult, error) {
+	resp, err := g.client.Post(b.url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &fwdResult{status: resp.StatusCode, body: data, backend: b.url}, nil
+}
+
+// forward routes one request through the preference list with the
+// mpcnet retry ladder: walk every backend once per round (transport
+// errors and 5xx advance to the next backend and mark the failed one
+// unhealthy), back off between rounds with deterministic jitter, give
+// up after rounds sweeps. 4xx answers are the client's problem and
+// return immediately.
+func (g *Gateway) forward(path string, prefs []*backendState, body []byte) (*fwdResult, error) {
+	seq := g.seq.Add(1)
+	var lastErr error
+	for round := 0; round < g.rounds; round++ {
+		if round > 0 {
+			g.retrySleep(g.retry.Backoff(seq, round-1))
+		}
+		for _, b := range prefs {
+			if g.reg != nil {
+				g.reg.Counter("gate_backend_requests_total", "Requests attempted against the labelled backend.", "backend", b.url).Inc()
+			}
+			res, err := g.tryBackend(b, path, body)
+			if err != nil {
+				lastErr = fmt.Errorf("%s: %w", b.url, err)
+				g.markUnhealthy(b, err)
+				g.countBackendError(b.url)
+				continue
+			}
+			if res.status >= 500 {
+				lastErr = fmt.Errorf("%s: HTTP %d: %s", b.url, res.status, bytes.TrimSpace(res.body))
+				g.countBackendError(b.url)
+				continue
+			}
+			return res, nil
+		}
+		if g.reg != nil {
+			g.reg.Counter("gate_retries_total", "Full preference-list sweeps that failed and backed off.").Inc()
+		}
+	}
+	return nil, fmt.Errorf("gate: all %d backends failed after %d rounds: %w", len(prefs), g.rounds, lastErr)
+}
+
+func (g *Gateway) countBackendError(url string) {
+	if g.reg != nil {
+		g.reg.Counter("gate_backend_errors_total", "Failed attempts (transport error or 5xx) against the labelled backend.", "backend", url).Inc()
+	}
+}
+
+// retrySleep honors the policy's injectable Sleep hook (tests use a
+// fake clock), defaulting to time.Sleep.
+func (g *Gateway) retrySleep(d time.Duration) {
+	if g.retry.Sleep != nil {
+		g.retry.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// ---- HTTP surface ----
+
+// RegisterMux mounts the gate API. The query endpoints mirror
+// treeserve's /v1 surface, so clients and the load generator work
+// unchanged against a gate.
+func (g *Gateway) RegisterMux(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/dist", g.endpoint("dist", g.handleDist))
+	mux.HandleFunc("/v1/knn", g.endpoint("knn", g.handleKNN))
+	mux.HandleFunc("/v1/cut", g.endpoint("cut", g.handleForward("/v1/cut")))
+	mux.HandleFunc("/v1/emd", g.endpoint("emd", g.handleForward("/v1/emd")))
+	mux.HandleFunc("/v1/medoid", g.endpoint("medoid", g.handleForward("/v1/medoid")))
+	mux.HandleFunc("/v1/trees", g.endpoint("trees", g.handleTrees))
+	mux.HandleFunc("/v1/trees/reload", g.endpoint("reload", g.handleReload))
+	mux.HandleFunc("/v1/ensembles", g.endpoint("ensembles", g.handleEnsembles))
+	mux.HandleFunc("/v1/quality", g.endpoint("quality", g.handleQuality))
+}
+
+// endpoint wraps a handler with body limiting and gate_* metering.
+func (g *Gateway) endpoint(name string, fn func(w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	var requests, errors4xx, errors5xx *obs.Counter
+	var latency *obs.Histogram
+	if g.reg != nil {
+		requests = g.reg.Counter("gate_requests_total", "Gate API requests received.", "endpoint", name)
+		errors4xx = g.reg.Counter("gate_errors_total", "Gate API requests answered with an error status.", "endpoint", name, "class", "4xx")
+		errors5xx = g.reg.Counter("gate_errors_total", "Gate API requests answered with an error status.", "endpoint", name, "class", "5xx")
+		latency = g.reg.Histogram("gate_request_seconds", "Gate API request latency in seconds.", serve.DefaultLatencyBuckets(), "endpoint", name)
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if requests != nil {
+			requests.Inc()
+			defer func() { latency.Observe(time.Since(start).Seconds()) }()
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, g.maxBody)
+		sw := &statusWriter{ResponseWriter: w}
+		fn(sw, r)
+		if sw.status >= 500 {
+			if errors5xx != nil {
+				errors5xx.Inc()
+			}
+		} else if sw.status >= 400 {
+			if errors4xx != nil {
+				errors4xx.Inc()
+			}
+		}
+	}
+}
+
+// statusWriter records the status code a handler answered with.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// writeJSONError answers a structured error the way treeserve does.
+func writeJSONError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeRaw relays a backend answer (or cached bytes) verbatim.
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// readBody slurps the (limited) request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSONError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+// routeKey is the ring key for one request: the tree plus the exact
+// body, so identical hot queries land on the same replica (cache
+// affinity) while distinct queries spread.
+func routeKey(endpoint, tree string, body []byte) string {
+	return endpoint + "\x00" + tree + "\x00" + strconv.FormatUint(hashKey(string(body)), 16)
+}
+
+// cacheKey binds an answer to tree content: fingerprint changes on
+// every reload (generation) or version push, so stale hits cannot
+// happen by construction.
+func cacheKey(endpoint, tree, fp string, body []byte) string {
+	return endpoint + "\x00" + tree + "\x00" + fp + "\x00" + string(body)
+}
+
+// handleForward proxies an uncached endpoint (cut, emd, medoid),
+// routing by tree name + body.
+func (g *Gateway) handleForward(path string) func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSONError(w, http.StatusMethodNotAllowed, "%s requires POST", path)
+			return
+		}
+		body, ok := readBody(w, r)
+		if !ok {
+			return
+		}
+		var peek struct {
+			Tree string `json:"tree"`
+		}
+		_ = json.Unmarshal(body, &peek)
+		res, err := g.forward(path, g.prefer(routeKey(path, peek.Tree, body)), body)
+		if err != nil {
+			writeJSONError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		writeRaw(w, res.status, res.body)
+	}
+}
+
+// forwardCached answers one dist/knn request through the answer cache:
+// look up under the owner replica's current fingerprint, else forward
+// and fill under the fingerprint the response reports. Every Nth hit is
+// double-checked against the live backend.
+func (g *Gateway) forwardCached(w http.ResponseWriter, endpoint, tree string, body []byte) {
+	path := "/v1/" + endpoint
+	prefs := g.prefer(routeKey(endpoint, tree, body))
+	if len(prefs) == 0 {
+		writeJSONError(w, http.StatusBadGateway, "gate: no backends")
+		return
+	}
+	var key string
+	if ti, ok := prefs[0].tree(tree); ok {
+		key = cacheKey(endpoint, tree, fingerprint(prefs[0].url, ti.Version, ti.Generation), body)
+		if data, hit := g.cache.Get(key); hit {
+			if g.checkN > 0 && g.hitSeq.Add(1)%uint64(g.checkN) == 0 {
+				g.doubleCheck(endpoint, tree, key, data, prefs, body)
+			}
+			w.Header().Set("X-Gate-Cache", "hit")
+			writeRaw(w, http.StatusOK, data)
+			return
+		}
+	}
+	res, err := g.forward(path, prefs, body)
+	if err != nil {
+		writeJSONError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	if res.status == http.StatusOK {
+		if ver, gen, ok := responseSnapshot(res); ok {
+			g.noteSnapshot(res.backend, tree, ver, gen)
+			g.cache.Put(cacheKey(endpoint, tree, fingerprint(res.backend, ver, gen), body), res.body)
+		}
+	}
+	writeRaw(w, res.status, res.body)
+}
+
+// responseSnapshot extracts the answering snapshot's (version,
+// generation) from a dist/knn response body.
+func responseSnapshot(res *fwdResult) (version, generation int64, ok bool) {
+	var meta struct {
+		Generation int64 `json:"generation"`
+		Version    int64 `json:"version"`
+	}
+	if err := json.Unmarshal(res.body, &meta); err != nil || meta.Generation == 0 {
+		return 0, 0, false
+	}
+	return meta.Version, meta.Generation, true
+}
+
+// noteSnapshot records a response-observed snapshot on its backend so
+// the next cache lookup keys at the live generation instead of waiting
+// for the health poller to catch up.
+func (g *Gateway) noteSnapshot(backend, tree string, version, generation int64) {
+	if b, ok := g.byURL[backend]; ok {
+		b.noteSnapshot(tree, version, generation)
+	}
+}
+
+// doubleCheck re-forwards a cache hit and compares bytes when the live
+// answer carries the same fingerprint. Any disagreement is counted on
+// gate_cache_mismatch_total and the entry is dropped — the counter
+// staying at zero under sustained load is the cache-consistency proof
+// the CI gate asserts.
+func (g *Gateway) doubleCheck(endpoint, tree, key string, cached []byte, prefs []*backendState, body []byte) {
+	res, err := g.forward("/v1/"+endpoint, prefs, body)
+	if err != nil || res.status != http.StatusOK {
+		return
+	}
+	ver, gen, ok := responseSnapshot(res)
+	if !ok {
+		return
+	}
+	// Record what the backend is serving now even when the comparison
+	// is off: if a reload landed since the entry was cached, this moves
+	// lookups off the stale generation without waiting for a poll.
+	g.noteSnapshot(res.backend, tree, ver, gen)
+	if cacheKey(endpoint, tree, fingerprint(res.backend, ver, gen), body) != key {
+		return // answered at a different generation; not comparable
+	}
+	if !bytes.Equal(cached, res.body) {
+		if g.cacheMismatch != nil {
+			g.cacheMismatch.Inc()
+		}
+		if g.logger != nil {
+			g.logger.Error("cache_mismatch", "endpoint", endpoint, "tree", tree)
+		}
+		g.cache.Drop(key)
+	}
+}
+
+// handleDist answers /v1/dist: ensemble names fan across members and
+// fold the elementwise min; plain names go through the cache.
+func (g *Gateway) handleDist(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "/v1/dist requires POST")
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req serve.DistRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if members, isEnsemble := g.ensembles[req.Tree]; isEnsemble {
+		g.handleEnsembleDist(w, req, members)
+		return
+	}
+	g.forwardCached(w, "dist", req.Tree, body)
+}
+
+// handleKNN answers /v1/knn through the cache. Ensemble names are
+// rejected: a min over neighbor lists has no single-tree semantics.
+func (g *Gateway) handleKNN(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "/v1/knn requires POST")
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var peek struct {
+		Tree string `json:"tree"`
+	}
+	_ = json.Unmarshal(body, &peek)
+	if _, isEnsemble := g.ensembles[peek.Tree]; isEnsemble {
+		writeJSONError(w, http.StatusBadRequest, "%q is an ensemble; knn requires a concrete tree", peek.Tree)
+		return
+	}
+	g.forwardCached(w, "knn", peek.Tree, body)
+}
+
+// handleEnsembleDist fans one dist request across the ensemble's member
+// trees concurrently (each member routed and cached independently) and
+// folds the elementwise min serially in member order — bit-identical to
+// querying the members one by one.
+func (g *Gateway) handleEnsembleDist(w http.ResponseWriter, req serve.DistRequest, members []string) {
+	if g.ensembleReqs != nil {
+		g.ensembleReqs.Inc()
+	}
+	type memberResult struct {
+		resp   serve.DistResponse
+		status int
+		body   []byte
+		err    error
+	}
+	results := make([]memberResult, len(members))
+	var wg sync.WaitGroup
+	for i, member := range members {
+		wg.Add(1)
+		go func(i int, member string) {
+			defer wg.Done()
+			mreq := req
+			mreq.Tree = member
+			mbody, err := json.Marshal(mreq)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			rec := newRecorder()
+			g.forwardCached(rec, "dist", member, mbody)
+			results[i].status = rec.code
+			results[i].body = rec.buf.Bytes()
+			if rec.code == http.StatusOK {
+				results[i].err = json.Unmarshal(rec.buf.Bytes(), &results[i].resp)
+			}
+		}(i, member)
+	}
+	wg.Wait()
+	// Serial fold in member order: min is order-independent over finite
+	// float64s, but folding deterministically keeps even NaN-adjacent
+	// corner cases reproducible.
+	var min []float64
+	for i, member := range members {
+		res := results[i]
+		if res.err != nil {
+			writeJSONError(w, http.StatusBadGateway, "ensemble member %q: %v", member, res.err)
+			return
+		}
+		if res.status != http.StatusOK {
+			writeRaw(w, res.status, res.body)
+			return
+		}
+		if min == nil {
+			min = append([]float64(nil), res.resp.Dists...)
+			continue
+		}
+		if len(res.resp.Dists) != len(min) {
+			writeJSONError(w, http.StatusBadGateway, "ensemble member %q answered %d dists, want %d", member, len(res.resp.Dists), len(min))
+			return
+		}
+		for j, d := range res.resp.Dists {
+			if d < min[j] {
+				min[j] = d
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(serve.DistResponse{Tree: req.Tree, Dists: min})
+}
+
+// recorder captures a handler's response for in-process composition
+// (the ensemble path reuses forwardCached per member).
+type recorder struct {
+	hdr  http.Header
+	buf  bytes.Buffer
+	code int
+}
+
+func newRecorder() *recorder { return &recorder{hdr: make(http.Header), code: http.StatusOK} }
+
+func (r *recorder) Header() http.Header { return r.hdr }
+func (r *recorder) WriteHeader(code int) {
+	r.code = code
+}
+func (r *recorder) Write(b []byte) (int, error) { return r.buf.Write(b) }
+
+// handleTrees reports the gate's merged fleet view, shape-compatible
+// with treeserve's /v1/trees.
+func (g *Gateway) handleTrees(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSONError(w, http.StatusMethodNotAllowed, "/v1/trees is GET")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(serve.TreesResponse{Trees: g.mergedTrees()})
+}
+
+// handleEnsembles lists the configured ensembles.
+func (g *Gateway) handleEnsembles(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSONError(w, http.StatusMethodNotAllowed, "/v1/ensembles is GET")
+		return
+	}
+	names := make([]string, 0, len(g.ensembles))
+	for name := range g.ensembles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type ens struct {
+		Name    string   `json:"name"`
+		Members []string `json:"members"`
+	}
+	out := struct {
+		Ensembles []ens `json:"ensembles"`
+	}{Ensembles: []ens{}}
+	for _, name := range names {
+		out.Ensembles = append(out.Ensembles, ens{Name: name, Members: g.ensembles[name]})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// handleReload broadcasts a hot reload to every healthy replica, so a
+// version push in the store rolls across the fleet in one call.
+func (g *Gateway) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "/v1/trees/reload requires POST")
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var success, failure *fwdResult
+	for _, b := range g.backends {
+		if !b.healthy.Load() {
+			continue
+		}
+		res, err := g.tryBackend(b, "/v1/trees/reload", body)
+		if err != nil {
+			g.markUnhealthy(b, err)
+			g.countBackendError(b.url)
+			continue
+		}
+		if res.status == http.StatusOK {
+			success = res
+			// The reload response reports the post-reload TreeInfo;
+			// fold it straight into the replica's table so cache
+			// lookups key at the new generation immediately instead
+			// of hitting pre-reload entries until the next poll.
+			var rr serve.ReloadResponse
+			if err := json.Unmarshal(res.body, &rr); err == nil && rr.Tree.Name != "" {
+				b.noteTree(rr.Tree)
+			}
+		} else if failure == nil {
+			failure = res
+		}
+	}
+	switch {
+	case success != nil:
+		writeRaw(w, success.status, success.body)
+	case failure != nil:
+		writeRaw(w, failure.status, failure.body)
+	default:
+		writeJSONError(w, http.StatusServiceUnavailable, "gate: no healthy backends to reload")
+	}
+}
+
+// handleQuality forwards the quality listing to the first healthy
+// replica (audit state is per-replica; any healthy one is
+// representative).
+func (g *Gateway) handleQuality(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSONError(w, http.StatusMethodNotAllowed, "/v1/quality is GET")
+		return
+	}
+	for _, b := range g.backends {
+		if !b.healthy.Load() {
+			continue
+		}
+		resp, err := g.client.Get(b.url + "/v1/quality?" + r.URL.RawQuery)
+		if err != nil {
+			g.markUnhealthy(b, err)
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		writeRaw(w, resp.StatusCode, data)
+		return
+	}
+	writeJSONError(w, http.StatusServiceUnavailable, "gate: no healthy backends")
+}

@@ -31,6 +31,14 @@ type LoadOptions struct {
 	MaxScale    float64           // cut-scale upper bound; 0 = 1e6
 	ReloadEvery int               // every k-th request (per client) also POSTs a hot reload; 0 = never
 	Verify      *hst.Tree         // when set, dist/knn answers are checked against it
+
+	// Gate mode: when Ensemble is set, every EnsembleEvery-th dist
+	// request (per client) is redirected at that ensemble name instead
+	// of the plain tree; with VerifyEnsemble set, the answer must be
+	// bit-identical to the serial elementwise min over those trees.
+	Ensemble       string
+	EnsembleEvery  int
+	VerifyEnsemble []*hst.Tree
 }
 
 // LoadReport summarises a completed run.
@@ -39,6 +47,7 @@ type LoadReport struct {
 	Queries  int           // individual queries answered (batch items)
 	Errors   int           // non-2xx responses, transport errors, wrong answers
 	Reloads  int           // hot reloads triggered mid-run
+	Ensemble int           // ensemble-min queries issued (gate mode)
 	Wall     time.Duration // fan-out wall time
 	QPS      float64       // Queries / Wall
 	P50, P99 time.Duration // request latency quantiles
@@ -47,9 +56,13 @@ type LoadReport struct {
 
 // String renders the report the way treeserve -selftest prints it.
 func (r LoadReport) String() string {
-	return fmt.Sprintf("requests %d, queries %d, errors %d, reloads %d, wall %v, %.0f qps, p50 %v, p99 %v",
+	s := fmt.Sprintf("requests %d, queries %d, errors %d, reloads %d, wall %v, %.0f qps, p50 %v, p99 %v",
 		r.Requests, r.Queries, r.Errors, r.Reloads, r.Wall.Round(time.Millisecond),
 		r.QPS, r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	if r.Ensemble > 0 {
+		s += fmt.Sprintf(", ensemble %d", r.Ensemble)
+	}
+	return s
 }
 
 // RunLoad drives the query stream at baseURL against the named tree and
@@ -81,10 +94,11 @@ func RunLoad(baseURL, tree string, numPoints int, opts LoadOptions) LoadReport {
 	queries := workload.Queries(opts.Seed, numPoints, total, batch, maxScale, mix)
 
 	var (
-		nQueries atomic.Int64
-		nErrors  atomic.Int64
-		nReloads atomic.Int64
-		firstErr atomic.Pointer[string]
+		nQueries  atomic.Int64
+		nErrors   atomic.Int64
+		nReloads  atomic.Int64
+		nEnsemble atomic.Int64
+		firstErr  atomic.Pointer[string]
 	)
 	recordErr := func(err error) {
 		nErrors.Add(1)
@@ -103,7 +117,15 @@ func RunLoad(baseURL, tree string, numPoints int, opts LoadOptions) LoadReport {
 			for i := c; i < len(queries); i += clients {
 				q := queries[i]
 				t0 := time.Now()
-				answered, err := issue(client, baseURL, tree, q, opts.Verify)
+				var answered int
+				var err error
+				if opts.Ensemble != "" && opts.EnsembleEvery > 0 && q.Kind == workload.QueryDist &&
+					(i/clients)%opts.EnsembleEvery == opts.EnsembleEvery-1 {
+					answered, err = issueEnsembleDist(client, baseURL, opts.Ensemble, q, opts.VerifyEnsemble)
+					nEnsemble.Add(1)
+				} else {
+					answered, err = issue(client, baseURL, tree, q, opts.Verify)
+				}
 				latencies[c] = append(latencies[c], time.Since(t0))
 				if err != nil {
 					recordErr(fmt.Errorf("%s query %d: %w", q.Kind, i, err))
@@ -140,6 +162,7 @@ func RunLoad(baseURL, tree string, numPoints int, opts LoadOptions) LoadReport {
 		Queries:  int(nQueries.Load()),
 		Errors:   int(nErrors.Load()),
 		Reloads:  int(nReloads.Load()),
+		Ensemble: int(nEnsemble.Load()),
 		Wall:     wall,
 		P50:      quantile(0.50),
 		P99:      quantile(0.99),
@@ -173,6 +196,34 @@ func post(client *http.Client, url string, req, resp any) error {
 		return fmt.Errorf("%s: HTTP %d: %s", url, httpResp.StatusCode, apiErr.Error)
 	}
 	return json.NewDecoder(httpResp.Body).Decode(resp)
+}
+
+// issueEnsembleDist sends one dist batch at an ensemble name and, when
+// verify trees are supplied, checks the answer against the serial
+// elementwise min over them — the gate's fan-out must be bit-identical
+// to querying the member trees one by one.
+func issueEnsembleDist(client *http.Client, baseURL, ensemble string, q workload.Query, verify []*hst.Tree) (int, error) {
+	var resp DistResponse
+	if err := post(client, baseURL+"/v1/dist", DistRequest{Tree: ensemble, Pairs: q.Pairs}, &resp); err != nil {
+		return 0, err
+	}
+	if len(resp.Dists) != len(q.Pairs) {
+		return 0, fmt.Errorf("ensemble dist: %d answers for %d pairs", len(resp.Dists), len(q.Pairs))
+	}
+	if len(verify) > 0 {
+		for i, p := range q.Pairs {
+			want := verify[0].Dist(p[0], p[1])
+			for _, t := range verify[1:] {
+				if d := t.Dist(p[0], p[1]); d < want {
+					want = d
+				}
+			}
+			if resp.Dists[i] != want {
+				return 0, fmt.Errorf("ensemble dist(%d,%d) = %v, want min %v (not bit-identical)", p[0], p[1], resp.Dists[i], want)
+			}
+		}
+	}
+	return len(q.Pairs), nil
 }
 
 // issue sends one generated query and validates the response shape

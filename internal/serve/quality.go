@@ -54,7 +54,7 @@ func (r *Registry) EnableQuality(cfg quality.Config, logger *slog.Logger) {
 	}
 	r.mu.Unlock()
 	for _, e := range pending {
-		r.maybeAudit(e)
+		r.maybeAudit(e, e.cur.Load())
 	}
 }
 
@@ -74,7 +74,7 @@ func (r *Registry) LoadPoints(name, path string) error {
 		return fmt.Errorf("serve: points for %q: %w", name, err)
 	}
 	e.points.Store(&pointSet{path: path, pts: pts})
-	r.maybeAudit(e)
+	r.maybeAudit(e, e.cur.Load())
 	return nil
 }
 
@@ -126,23 +126,25 @@ func (r *Registry) collector(e *entry, cfg quality.Config) *quality.Collector {
 	return e.qcol
 }
 
-// maybeAudit spawns a background audit of e's current snapshot when
-// auditing is enabled and both a tree and points are present.
-func (r *Registry) maybeAudit(e *entry) {
+// maybeAudit spawns a background audit of the given snapshot when
+// auditing is enabled and both a tree and points are present. The
+// snapshot pins the audited (tree, generation) pair, so the audit is
+// always attributed to a state that was actually installed.
+func (r *Registry) maybeAudit(e *entry, snap *snapshot) {
 	r.mu.Lock()
 	cfgp := r.qcfg
 	logger := r.qlog
 	r.mu.Unlock()
-	if cfgp == nil {
+	if cfgp == nil || snap == nil {
 		return
 	}
-	t := e.tree.Load()
+	t := snap.tree
 	ps := e.points.Load()
-	if t == nil || ps == nil {
+	if ps == nil {
 		return
 	}
 	cfg := *cfgp
-	gen := e.generation.Load()
+	gen := snap.generation
 	col := r.collector(e, cfg)
 	r.qwg.Add(1)
 	go func() {

@@ -5,6 +5,19 @@
 // from the old tree while new requests see the new one. No locks are
 // held while queries run, and no in-flight query is ever dropped or
 // torn by a swap.
+//
+// Swap-consistency contract: the served state of one name is a single
+// immutable snapshot (tree, generation, source) behind one atomic
+// pointer, and every install — building the next snapshot, bumping the
+// generation, updating the per-tree gauges, kicking the background
+// audit — runs under that entry's swap mutex. Concurrent Load/Reload
+// calls on the same name therefore serialize: generations increase by
+// exactly one per successful install, a reader can never pair a new
+// tree with a stale generation (or vice versa), and the gauges and
+// audit attribution always describe a snapshot that was actually
+// served. Readers (Get, Snapshot, List, the query handlers) never take
+// the swap mutex: they load the snapshot pointer once and work with an
+// internally consistent view.
 package serve
 
 import (
@@ -20,14 +33,40 @@ import (
 	"mpctree/internal/quality"
 )
 
-// entry is one named tree: the served pointer plus the file it reloads
-// from, and (when quality auditing is enabled) the audit ground-truth
-// points and latest audit result.
+// Source records where a tree snapshot came from: a bare file path for
+// direct loads, plus the manifest version and content hash when the
+// tree was loaded from a versioned store (internal/treestore).
+type Source struct {
+	Path    string
+	Version int64  // manifest version; 0 for direct file loads
+	SHA256  string // manifest content hash; "" for direct file loads
+}
+
+// TreeLoader produces a fresh tree snapshot and its provenance. Load
+// installs the result; Reload re-invokes the same loader, so a loader
+// backed by a versioned store picks up new versions on reload.
+type TreeLoader func() (*hst.Tree, Source, error)
+
+// snapshot is the served state of one name at one instant. It is
+// immutable after construction; the entry swaps whole snapshots.
+type snapshot struct {
+	tree       *hst.Tree
+	generation int64 // successful installs of this name, starting at 1
+	source     Source
+}
+
+// entry is one named tree: the served snapshot plus the loader it
+// reloads through, and (when quality auditing is enabled) the audit
+// ground-truth points and latest audit result.
 type entry struct {
-	name       string
-	path       string
-	tree       atomic.Pointer[hst.Tree]
-	generation atomic.Int64 // successful loads, starting at 1
+	name string
+
+	// swapMu serializes installs: snapshot construction, the generation
+	// bump, gauge updates, and audit kick-off happen as one unit. The
+	// loader field is also guarded by it. Readers never take it.
+	swapMu sync.Mutex
+	load   TreeLoader
+	cur    atomic.Pointer[snapshot]
 
 	points  atomic.Pointer[pointSet]      // audit ground truth (nil = not registered)
 	qresult atomic.Pointer[QualityResult] // latest completed audit
@@ -35,6 +74,8 @@ type entry struct {
 }
 
 // TreeInfo describes one registry entry for /v1/trees and logs.
+// Version and SHA256 are set only for trees loaded from a versioned
+// store; treegate uses them to verify replica coherence.
 type TreeInfo struct {
 	Name       string `json:"name"`
 	Path       string `json:"path"`
@@ -42,6 +83,8 @@ type TreeInfo struct {
 	Nodes      int    `json:"nodes"`
 	Height     int    `json:"height"`
 	Generation int64  `json:"generation"`
+	Version    int64  `json:"version,omitempty"`
+	SHA256     string `json:"sha256,omitempty"`
 }
 
 // Registry holds the named trees a server answers from. The mutex only
@@ -88,25 +131,64 @@ func readTreeFile(path string) (*hst.Tree, error) {
 	return t, nil
 }
 
-// observe updates the per-tree gauges after a successful load.
-func (r *Registry) observe(e *entry, t *hst.Tree) {
+// FileLoader adapts a bare tree file to the TreeLoader contract.
+func FileLoader(path string) TreeLoader {
+	return func() (*hst.Tree, Source, error) {
+		t, err := readTreeFile(path)
+		if err != nil {
+			return nil, Source{}, err
+		}
+		return t, Source{Path: path}, nil
+	}
+}
+
+// observe updates the per-tree gauges after a successful install.
+// Called with the entry's swapMu held, so gauge values always describe
+// an installed snapshot.
+func (r *Registry) observe(e *entry, snap *snapshot) {
 	if r.reg == nil {
 		return
 	}
-	r.reg.Gauge("serve_tree_points", "Data points in the named tree.", "tree", e.name).Set(float64(t.NumPoints()))
-	r.reg.Gauge("serve_tree_nodes", "Arena nodes in the named tree.", "tree", e.name).Set(float64(t.NumNodes()))
-	r.reg.Gauge("serve_tree_generation", "Load generation of the named tree (increments on hot reload).", "tree", e.name).Set(float64(e.generation.Load()))
+	r.reg.Gauge("serve_tree_points", "Data points in the named tree.", "tree", e.name).Set(float64(snap.tree.NumPoints()))
+	r.reg.Gauge("serve_tree_nodes", "Arena nodes in the named tree.", "tree", e.name).Set(float64(snap.tree.NumNodes()))
+	r.reg.Gauge("serve_tree_generation", "Load generation of the named tree (increments on hot reload).", "tree", e.name).Set(float64(snap.generation))
 	r.reloads.Inc()
+}
+
+// install swaps the freshly loaded tree in as the entry's next
+// snapshot. The whole sequence — generation bump, snapshot store,
+// gauges, audit — runs under the entry's swap mutex, so concurrent
+// installs of one name serialize and can never tear tree/generation/
+// gauge/audit consistency.
+func (r *Registry) install(e *entry, t *hst.Tree, src Source, loader TreeLoader) {
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	e.load = loader
+	gen := int64(1)
+	if old := e.cur.Load(); old != nil {
+		gen = old.generation + 1
+	}
+	snap := &snapshot{tree: t, generation: gen, source: src}
+	e.cur.Store(snap)
+	r.observe(e, snap)
+	r.maybeAudit(e, snap)
 }
 
 // Load reads the tree file at path and registers (or replaces) it under
 // name. Replacing is an atomic hot swap: concurrent queries against the
 // old tree complete unharmed.
 func (r *Registry) Load(name, path string) error {
+	return r.LoadWith(name, FileLoader(path))
+}
+
+// LoadWith registers (or replaces) name through an arbitrary loader —
+// the path treeserve -store uses to load from a versioned tree store.
+// The loader is retained: Reload re-invokes it.
+func (r *Registry) LoadWith(name string, loader TreeLoader) error {
 	if name == "" {
 		return fmt.Errorf("serve: empty tree name")
 	}
-	t, err := readTreeFile(path)
+	t, src, err := loader()
 	if err != nil {
 		if r.loadErrors != nil {
 			r.loadErrors.Inc()
@@ -122,62 +204,93 @@ func (r *Registry) Load(name, path string) error {
 			r.treesGauge.Set(float64(len(r.entries)))
 		}
 	}
-	e.path = path
 	r.mu.Unlock()
-	e.tree.Store(t)
-	e.generation.Add(1)
-	r.observe(e, t)
-	r.maybeAudit(e)
+	r.install(e, t, src, loader)
 	return nil
 }
 
-// Reload re-reads the named tree from its registered file and swaps it
-// in atomically. On any error — unknown name, unreadable or corrupt
+// Reload re-runs the named tree's loader and swaps the result in
+// atomically. On any error — unknown name, unreadable or corrupt
 // file — the currently served tree stays in place, so a bad file on
 // disk can never take a healthy tree out of service.
 func (r *Registry) Reload(name string) error {
 	r.mu.Lock()
 	e, ok := r.entries[name]
-	var path string
-	if ok {
-		path = e.path
-	}
 	r.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("serve: unknown tree %q", name)
 	}
-	t, err := readTreeFile(path)
+	e.swapMu.Lock()
+	loader := e.load
+	e.swapMu.Unlock()
+	if loader == nil {
+		return fmt.Errorf("serve: tree %q has no loader", name)
+	}
+	t, src, err := loader()
 	if err != nil {
 		if r.loadErrors != nil {
 			r.loadErrors.Inc()
 		}
 		return fmt.Errorf("serve: reload %q: %w (previous tree still serving)", name, err)
 	}
-	e.tree.Store(t)
-	e.generation.Add(1)
-	r.observe(e, t)
-	r.maybeAudit(e)
+	r.install(e, t, src, loader)
 	return nil
 }
 
-// Get resolves a named tree to the currently served snapshot. The
-// returned *hst.Tree is immutable and remains fully usable even if the
-// name is reloaded or removed afterwards.
-func (r *Registry) Get(name string) (*hst.Tree, error) {
+// lookup resolves a name to its entry.
+func (r *Registry) lookup(name string) (*entry, error) {
 	r.mu.Lock()
 	e, ok := r.entries[name]
 	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("serve: unknown tree %q", name)
 	}
-	t := e.tree.Load()
-	if t == nil {
-		return nil, fmt.Errorf("serve: tree %q has no loaded snapshot", name)
-	}
-	return t, nil
+	return e, nil
 }
 
-// List reports every entry, sorted by name.
+// Get resolves a named tree to the currently served snapshot. The
+// returned *hst.Tree is immutable and remains fully usable even if the
+// name is reloaded or removed afterwards.
+func (r *Registry) Get(name string) (*hst.Tree, error) {
+	t, _, err := r.Snapshot(name)
+	return t, err
+}
+
+// Snapshot resolves a named tree to its current (tree, generation)
+// pair. The pair is internally consistent — both fields come from one
+// atomic snapshot load — which is what lets response caches key on
+// generation without ever serving a stale one.
+func (r *Registry) Snapshot(name string) (*hst.Tree, int64, error) {
+	e, err := r.lookup(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	snap := e.cur.Load()
+	if snap == nil {
+		return nil, 0, fmt.Errorf("serve: tree %q has no loaded snapshot", name)
+	}
+	return snap.tree, snap.generation, nil
+}
+
+// SnapshotSource is Snapshot plus the provenance of the served bytes —
+// all four values from the same atomic snapshot load. Fronts that key
+// caches globally (the gate) use the Source's store version, which,
+// unlike per-process generations, is comparable across replicas.
+func (r *Registry) SnapshotSource(name string) (*hst.Tree, int64, Source, error) {
+	e, err := r.lookup(name)
+	if err != nil {
+		return nil, 0, Source{}, err
+	}
+	snap := e.cur.Load()
+	if snap == nil {
+		return nil, 0, Source{}, fmt.Errorf("serve: tree %q has no loaded snapshot", name)
+	}
+	return snap.tree, snap.generation, snap.source, nil
+}
+
+// List reports every entry, sorted by name. Each TreeInfo is read from
+// one atomic snapshot, so tree shape, generation, and provenance are
+// mutually consistent even while loads are in flight.
 func (r *Registry) List() []TreeInfo {
 	r.mu.Lock()
 	entries := make([]*entry, 0, len(r.entries))
@@ -188,11 +301,15 @@ func (r *Registry) List() []TreeInfo {
 	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
 	out := make([]TreeInfo, 0, len(entries))
 	for _, e := range entries {
-		info := TreeInfo{Name: e.name, Path: e.path, Generation: e.generation.Load()}
-		if t := e.tree.Load(); t != nil {
-			info.Points = t.NumPoints()
-			info.Nodes = t.NumNodes()
-			info.Height = t.Height()
+		info := TreeInfo{Name: e.name}
+		if snap := e.cur.Load(); snap != nil {
+			info.Path = snap.source.Path
+			info.Version = snap.source.Version
+			info.SHA256 = snap.source.SHA256
+			info.Generation = snap.generation
+			info.Points = snap.tree.NumPoints()
+			info.Nodes = snap.tree.NumNodes()
+			info.Height = snap.tree.Height()
 		}
 		out = append(out, info)
 	}

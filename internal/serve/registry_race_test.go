@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mpctree/internal/obs"
+)
+
+// TestRegistrySwapConsistency hammers one name with concurrent
+// Load+Reload+Get+Snapshot+List and pins the swap-consistency
+// contract:
+//
+//   - generations observed by any single reader never decrease;
+//   - every observed (generation → tree shape) pairing is a function:
+//     two readers can never attribute different trees to the same
+//     generation, which is exactly the torn state the pre-fix registry
+//     could produce by running tree.Store and generation.Add outside
+//     the swap lock;
+//   - after the dust settles, the final generation equals the number of
+//     successful installs and the per-tree gauges describe the final
+//     snapshot, not whichever install's observe() ran last.
+//
+// Run under -race this also proves the data paths are race-clean.
+func TestRegistrySwapConsistency(t *testing.T) {
+	// Two distinguishable trees: loads alternate between them, so a torn
+	// (tree, generation) pair is detectable by point count.
+	treeA := buildTree(t, 1, 64)
+	treeB := buildTree(t, 2, 96)
+	dir := t.TempDir()
+	pathA := dir + "/a.tree"
+	pathB := dir + "/b.tree"
+	saveTree(t, treeA, pathA)
+	saveTree(t, treeB, pathB)
+
+	oreg := obs.New()
+	reg := NewRegistry(oreg)
+	if err := reg.Load("t", pathA); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		loaders   = 4
+		reloaders = 2
+		readers   = 4
+		iters     = 200
+	)
+	var installs atomic.Int64 // successful Load/Reload calls
+	installs.Add(1)           // the seed load above
+
+	// genPoints records every observed generation → NumPoints pairing.
+	var genPoints sync.Map // int64 → int
+	observe := func(gen int64, points int) {
+		if gen == 0 {
+			return
+		}
+		if prev, loaded := genPoints.LoadOrStore(gen, points); loaded && prev.(int) != points {
+			t.Errorf("generation %d observed with %d and %d points: torn (tree, generation) pair", gen, prev.(int), points)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < loaders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				path := pathA
+				if (i+j)%2 == 1 {
+					path = pathB
+				}
+				if err := reg.Load("t", path); err != nil {
+					t.Errorf("load: %v", err)
+					return
+				}
+				installs.Add(1)
+			}
+		}(i)
+	}
+	for i := 0; i < reloaders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				if err := reg.Reload("t"); err != nil {
+					t.Errorf("reload: %v", err)
+					return
+				}
+				installs.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastGen int64
+			for j := 0; j < iters*4; j++ {
+				tree, gen, err := reg.Snapshot("t")
+				if err != nil {
+					t.Errorf("snapshot: %v", err)
+					return
+				}
+				if gen < lastGen {
+					t.Errorf("generation went backwards: %d after %d", gen, lastGen)
+					return
+				}
+				lastGen = gen
+				observe(gen, tree.NumPoints())
+				if _, err := reg.Get("t"); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				for _, info := range reg.List() {
+					observe(info.Generation, info.Points)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Final state: generation counts installs exactly, and the gauges
+	// agree with the served snapshot.
+	tree, gen, err := reg.Snapshot("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != installs.Load() {
+		t.Errorf("final generation %d, want %d (one per successful install)", gen, installs.Load())
+	}
+	observe(gen, tree.NumPoints())
+	var gaugePoints, gaugeGen float64
+	for _, v := range oreg.Snapshot() {
+		switch v.Name {
+		case "serve_tree_points":
+			gaugePoints = v.Value
+		case "serve_tree_generation":
+			gaugeGen = v.Value
+		}
+	}
+	if gaugePoints != float64(tree.NumPoints()) {
+		t.Errorf("serve_tree_points gauge %v, want %d (stale observe survived the swap lock)", gaugePoints, tree.NumPoints())
+	}
+	if gaugeGen != float64(gen) {
+		t.Errorf("serve_tree_generation gauge %v, want %d", gaugeGen, gen)
+	}
+}

@@ -235,14 +235,23 @@ func decode(r *http.Request, req any) error {
 
 // tree resolves the named tree or answers 404.
 func (s *Server) tree(name string) (*hst.Tree, error) {
+	t, _, _, err := s.treeSnap(name)
+	return t, err
+}
+
+// treeSnap resolves the named tree to its consistent (tree, generation,
+// version) snapshot or answers 404. Handlers that echo the snapshot
+// identity (dist, knn) use it so a caching front tier can key answers
+// by content — store version when there is one, generation otherwise.
+func (s *Server) treeSnap(name string) (*hst.Tree, int64, int64, error) {
 	if name == "" {
-		return nil, badRequest("missing \"tree\" field")
+		return nil, 0, 0, badRequest("missing \"tree\" field")
 	}
-	t, err := s.trees.Get(name)
+	t, gen, src, err := s.trees.SnapshotSource(name)
 	if err != nil {
-		return nil, notFound(err)
+		return nil, 0, 0, notFound(err)
 	}
-	return t, nil
+	return t, gen, src.Version, nil
 }
 
 // ---- /v1/dist ----
@@ -254,9 +263,15 @@ type DistRequest struct {
 }
 
 // DistResponse carries one distance per request pair, in order.
+// Generation (and Version, when the tree comes from a versioned store)
+// identifies the tree snapshot that answered — the answers are a pure
+// function of (tree bytes, pairs), so any two responses with equal tree
+// content and pairs are bit-identical.
 type DistResponse struct {
-	Tree  string    `json:"tree"`
-	Dists []float64 `json:"dists"`
+	Tree       string    `json:"tree"`
+	Generation int64     `json:"generation,omitempty"`
+	Version    int64     `json:"version,omitempty"`
+	Dists      []float64 `json:"dists"`
 }
 
 func (s *Server) handleDist(r *http.Request) (any, error) {
@@ -264,7 +279,7 @@ func (s *Server) handleDist(r *http.Request) (any, error) {
 	if err := decode(r, &req); err != nil {
 		return nil, err
 	}
-	t, err := s.tree(req.Tree)
+	t, gen, ver, err := s.treeSnap(req.Tree)
 	if err != nil {
 		return nil, err
 	}
@@ -291,7 +306,7 @@ func (s *Server) handleDist(r *http.Request) (any, error) {
 	}); err != nil {
 		return nil, err
 	}
-	return DistResponse{Tree: req.Tree, Dists: out}, nil
+	return DistResponse{Tree: req.Tree, Generation: gen, Version: ver, Dists: out}, nil
 }
 
 // ---- /v1/knn ----
@@ -307,9 +322,13 @@ type KNNRequest struct {
 }
 
 // KNNResponse carries one neighbor list per query point, in order.
+// Generation and Version identify the answering tree snapshot (see
+// DistResponse).
 type KNNResponse struct {
-	Tree      string           `json:"tree"`
-	Neighbors [][]hst.Neighbor `json:"neighbors"`
+	Tree       string           `json:"tree"`
+	Generation int64            `json:"generation,omitempty"`
+	Version    int64            `json:"version,omitempty"`
+	Neighbors  [][]hst.Neighbor `json:"neighbors"`
 }
 
 func (s *Server) handleKNN(r *http.Request) (any, error) {
@@ -317,7 +336,7 @@ func (s *Server) handleKNN(r *http.Request) (any, error) {
 	if err := decode(r, &req); err != nil {
 		return nil, err
 	}
-	t, err := s.tree(req.Tree)
+	t, gen, ver, err := s.treeSnap(req.Tree)
 	if err != nil {
 		return nil, err
 	}
@@ -348,7 +367,7 @@ func (s *Server) handleKNN(r *http.Request) (any, error) {
 	}); err != nil {
 		return nil, err
 	}
-	return KNNResponse{Tree: req.Tree, Neighbors: out}, nil
+	return KNNResponse{Tree: req.Tree, Generation: gen, Version: ver, Neighbors: out}, nil
 }
 
 // ---- /v1/cut ----

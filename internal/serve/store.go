@@ -1,0 +1,27 @@
+// Bridges the versioned tree store into the serving registry.
+package serve
+
+import (
+	"mpctree/internal/hst"
+	"mpctree/internal/treestore"
+)
+
+// StoreLoader adapts one named tree in a versioned store to the
+// registry's TreeLoader contract. Every invocation — the initial load
+// and every hot reload — re-reads the store's CURRENT version with full
+// manifest verification (length, sha256, version), so pushing a new
+// version into the store and broadcasting a reload rolls the fleet
+// forward, and a corrupt store file can never displace a serving tree.
+func StoreLoader(st *treestore.Store, name string) TreeLoader {
+	return func() (*hst.Tree, Source, error) {
+		t, m, err := st.Load(name)
+		if err != nil {
+			return nil, Source{}, err
+		}
+		return t, Source{
+			Path:    st.TreePath(name, m.Version),
+			Version: m.Version,
+			SHA256:  m.SHA256,
+		}, nil
+	}
+}
