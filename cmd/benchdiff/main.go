@@ -47,10 +47,10 @@ type Bench struct {
 
 // Report is the schema of the BENCH_*.json baselines.
 type Report struct {
-	GoVersion  string  `json:"go_version"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	CPUs       int     `json:"cpus"`
-	Quick      bool    `json:"quick"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUs       int    `json:"cpus"`
+	Quick      bool   `json:"quick"`
 	// Note is stamped at write time when the machine shape qualifies the
 	// numbers (e.g. a single-core recording, where /workers=N>1 variants
 	// measure fan-out overhead rather than parallel speedup).
@@ -158,6 +158,7 @@ func main() {
 	for _, suite := range []struct{ pkg, pattern string }{
 		{"mpctree", "Workers"},
 		{"mpctree/internal/hadamard", "BenchmarkDistFWHT|BenchmarkFWHT1024|BenchmarkFWHTLarge"},
+		{"mpctree/internal/gate", "BenchmarkGateHotPath"},
 	} {
 		fmt.Fprintf(os.Stderr, "benchdiff: running %s -bench=%s -benchtime=%s\n", suite.pkg, suite.pattern, bt)
 		bs, err := runSuite(suite.pkg, suite.pattern, bt)

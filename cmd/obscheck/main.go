@@ -36,6 +36,14 @@
 //	obscheck -url http://127.0.0.1:8090 \
 //	  -min-healthy-replicas 3 -zero gate_cache_mismatch_total
 //
+// -max-p99 gates on estimated tail latency: for each family=seconds
+// pair, every histogram series of that family must have a p99 (bucket
+// interpolation, matching the <family>_latency_p99_seconds gauges an
+// Objective publishes) at or under the bound. Failures name the
+// offending series:
+//
+//	obscheck -url http://127.0.0.1:8090 -max-p99 gate_request_seconds=2.5
+//
 // Exit status: 0 when every check passes, 1 otherwise.
 package main
 
@@ -68,6 +76,7 @@ func main() {
 
 		minHealthyReplicas = flag.Int("min-healthy-replicas", 0, "fail unless at least this many gate_replica_healthy series report 1 (0 = skip; treegate targets)")
 		zeroFamilies       = flag.String("zero", "", "comma-separated metric families whose every sample must be 0 (e.g. gate_cache_mismatch_total)")
+		maxP99             = flag.String("max-p99", "", "comma-separated family=bound pairs: every histogram series of the family must have an estimated p99 at or under bound seconds (e.g. gate_request_seconds=2.5)")
 	)
 	flag.Parse()
 
@@ -138,6 +147,16 @@ func main() {
 			}
 		}
 		if err := checkZero(*base, zeros, *timeout); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	if *maxP99 != "" {
+		bounds, err := parseP99Bounds(*maxP99)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := checkP99(*base, bounds, *timeout); err != nil {
 			fail("%v", err)
 		}
 	}
@@ -373,6 +392,114 @@ func checkZero(base string, families []string, timeout time.Duration) error {
 		return err
 	}
 	fmt.Printf("obscheck: zero OK — %d samples across %s all zero\n", checked, strings.Join(families, ", "))
+	return nil
+}
+
+// parseP99Bounds parses the -max-p99 spec: family=seconds[,family=seconds...].
+func parseP99Bounds(spec string) (map[string]float64, error) {
+	bounds := make(map[string]float64)
+	for _, part := range strings.Split(spec, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		fam, val, ok := strings.Cut(part, "=")
+		if !ok || fam == "" {
+			return nil, fmt.Errorf("bad -max-p99 entry %q (want family=seconds)", part)
+		}
+		var bound float64
+		if _, err := fmt.Sscanf(val, "%g", &bound); err != nil || bound <= 0 {
+			return nil, fmt.Errorf("bad -max-p99 bound %q for %s (want seconds > 0)", val, fam)
+		}
+		bounds[fam] = bound
+	}
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("-max-p99 names no families")
+	}
+	return bounds, nil
+}
+
+// bucketP99 estimates a histogram series' p99 from its scraped buckets —
+// the same linear interpolation internal/obs Histogram.Quantile applies,
+// so this gate agrees with the <family>_latency_p99_seconds gauges. The
+// JSON export drops the implicit +Inf bucket; samples beyond the last
+// finite bound clamp to it.
+func bucketP99(v obs.Value) float64 {
+	if v.Count == 0 || len(v.Buckets) == 0 {
+		return 0
+	}
+	rank := 0.99 * float64(v.Count)
+	prevCum := int64(0)
+	lower := 0.0
+	for _, b := range v.Buckets {
+		c := b.Cumulative - prevCum
+		if c > 0 && float64(b.Cumulative) >= rank {
+			frac := (rank - float64(prevCum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(b.LE-lower)
+		}
+		prevCum = b.Cumulative
+		lower = b.LE
+	}
+	return v.Buckets[len(v.Buckets)-1].LE
+}
+
+// checkP99 gates on estimated tail latency: every histogram series of
+// each named family must have a p99 at or under its bound. The poll
+// rides out the window before the first observation lands; a breached
+// bound is a hard failure naming every offending series.
+func checkP99(base string, bounds map[string]float64, timeout time.Duration) error {
+	fams := make([]string, 0, len(bounds))
+	for f := range bounds {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	var summary []string
+	err := poll(timeout, func() error {
+		series, err := scrapeValues(base)
+		if err != nil {
+			return err
+		}
+		byFam := make(map[string][]obs.Value)
+		for _, v := range series {
+			if _, wanted := bounds[v.Name]; wanted && len(v.Buckets) > 0 {
+				byFam[v.Name] = append(byFam[v.Name], v)
+			}
+		}
+		summary = summary[:0]
+		var offenders []string
+		for _, fam := range fams {
+			vs := byFam[fam]
+			if len(vs) == 0 {
+				return fmt.Errorf("no %s histogram series on /metrics.json yet", fam)
+			}
+			var observed int64
+			worst := 0.0
+			for _, v := range vs {
+				observed += v.Count
+				p99 := bucketP99(v)
+				if p99 > worst {
+					worst = p99
+				}
+				if v.Count > 0 && p99 > bounds[fam] {
+					offenders = append(offenders, fmt.Sprintf("%s p99 ~%.3fs > %.3fs", seriesKey(v), p99, bounds[fam]))
+				}
+			}
+			if observed == 0 {
+				return fmt.Errorf("%s has no observations yet", fam)
+			}
+			summary = append(summary, fmt.Sprintf("%s worst p99 ~%.3fs <= %.3fs", fam, worst, bounds[fam]))
+		}
+		if len(offenders) > 0 {
+			return &hardError{fmt.Errorf("latency objective breached: %s", strings.Join(offenders, ", "))}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("obscheck: p99 OK — %s\n", strings.Join(summary, "; "))
 	return nil
 }
 

@@ -67,6 +67,13 @@ func main() {
 		maxBody    = flag.Int64("max-body", 8<<20, "maximum request body bytes")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests on SIGINT/SIGTERM")
 
+		traceSample = flag.Float64("trace-sample", -1, "request-trace head-sampling fraction in [0,1]; the decision propagates to replicas via traceparent (negative disables tracing)")
+		traceBuf    = flag.Int("trace-buf", 512, "completed sampled request roots retained for /trace/requests and -trace-out")
+		traceOut    = flag.String("trace-out", "", "write the merged gate+replica chrome-trace timeline here on shutdown (with -trace-sample >= 0)")
+		sloTarget   = flag.Duration("slo", 0, "per-request latency objective; requests over it burn gate_slo_breaches_total (0 = publish quantile gauges only)")
+		slowLog     = flag.Duration("slow-log", 0, "slow-query log threshold; requests over it are candidates for a structured warn record (0 = disabled)")
+		slowEvery   = flag.Int("slow-log-every", 10, "log every Nth slow-query candidate (with -slow-log)")
+
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 		logFormat = flag.String("log-format", "json", "log encoding: json|text")
 
@@ -123,6 +130,10 @@ func main() {
 
 	reg := obs.New()
 	obs.RegisterBuildInfo(reg)
+	var tracer *obs.Tracer
+	if *traceSample >= 0 {
+		tracer = obs.NewTracer(*traceSample, *traceBuf)
+	}
 	g, err := gate.New(gate.Options{
 		Backends:        backends,
 		Ensembles:       ensembleMap,
@@ -135,6 +146,9 @@ func main() {
 		MaxBodyBytes:    *maxBody,
 		Obs:             reg,
 		Logger:          logger,
+		Tracer:          tracer,
+		SlowLog:         obs.NewSlowLog(reg, "gate", logger, *slowLog, *slowEvery),
+		SLOTarget:       *sloTarget,
 	})
 	if err != nil {
 		fail(err)
@@ -145,12 +159,15 @@ func main() {
 	mux := http.NewServeMux()
 	g.RegisterMux(mux)
 	obs.RegisterDebug(mux, reg, func() *obs.Span { return nil })
+	if tracer != nil {
+		obs.RegisterRequestTraces(mux, tracer.Buffer())
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "treegate\n\nPOST /v1/dist /v1/knn /v1/cut /v1/emd /v1/medoid /v1/trees/reload\nGET  /v1/trees /v1/ensembles /v1/quality\nGET  /metrics /metrics.json /debug/vars /debug/pprof/\n")
+		fmt.Fprint(w, "treegate\n\nPOST /v1/dist /v1/knn /v1/cut /v1/emd /v1/medoid /v1/trees/reload\nGET  /v1/trees /v1/ensembles /v1/quality /v1/status\nGET  /healthz /metrics /metrics.json /debug/vars /debug/pprof/ /trace/requests\n")
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -175,6 +192,16 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Error("drain_incomplete", "error", err.Error())
 		os.Exit(1)
+	}
+	// Export the merged timeline after the drain (every sampled request
+	// has completed) but before this process exits, while the replicas
+	// are still up to answer /trace/requests.
+	if *traceOut != "" && tracer != nil {
+		if err := obs.WriteChromeTraceFile(*traceOut, g.TraceProcesses(tracer.Buffer())); err != nil {
+			logger.Error("trace_export_failed", "path", *traceOut, "error", err.Error())
+			os.Exit(1)
+		}
+		logger.Info("trace_exported", "path", *traceOut, "requests", tracer.Buffer().Total())
 	}
 	logger.Info("drained")
 }

@@ -87,6 +87,12 @@ func main() {
 		auditSeed  = flag.Uint64("audit-seed", 1, "pair-sampling seed for quality audits")
 		maxMean    = flag.Float64("max-distortion", 0, "mean-distortion alarm threshold for audits (0 = no alarm)")
 
+		traceSample = flag.Float64("trace-sample", -1, "request-trace head-sampling fraction in [0,1]; 0 records only propagated (gate-sampled) traces, negative disables tracing entirely")
+		traceBuf    = flag.Int("trace-buf", 512, "completed sampled request roots retained for /trace/requests")
+		sloTarget   = flag.Duration("slo", 0, "per-request latency objective; requests over it burn serve_slo_breaches_total (0 = publish quantile gauges only)")
+		slowLog     = flag.Duration("slow-log", 0, "slow-query log threshold; requests over it are candidates for a structured warn record (0 = disabled)")
+		slowEvery   = flag.Int("slow-log-every", 10, "log every Nth slow-query candidate (with -slow-log)")
+
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 		logFormat = flag.String("log-format", "json", "log encoding: json|text")
 
@@ -178,22 +184,32 @@ func main() {
 		logger.Info("points_loaded", "tree", name, "path", path)
 	}
 
+	var tracer *obs.Tracer
+	if *traceSample >= 0 {
+		tracer = obs.NewTracer(*traceSample, *traceBuf)
+	}
 	server := serve.NewServer(registry, serve.Options{
 		Workers:      *workers,
 		Deadline:     *deadline,
 		MaxBodyBytes: *maxBody,
 		Obs:          reg,
 		Logger:       logger,
+		Tracer:       tracer,
+		SlowLog:      obs.NewSlowLog(reg, "serve", logger, *slowLog, *slowEvery),
+		SLOTarget:    *sloTarget,
 	})
 	mux := http.NewServeMux()
 	server.RegisterMux(mux)
 	obs.RegisterDebug(mux, reg, func() *obs.Span { return nil })
+	if tracer != nil {
+		obs.RegisterRequestTraces(mux, tracer.Buffer())
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "treeserve\n\nPOST /v1/dist /v1/knn /v1/cut /v1/emd /v1/medoid /v1/trees/reload\nGET  /v1/trees /v1/quality\nGET  /metrics /metrics.json /debug/vars /debug/pprof/\n")
+		fmt.Fprint(w, "treeserve\n\nPOST /v1/dist /v1/knn /v1/cut /v1/emd /v1/medoid /v1/trees/reload\nGET  /v1/trees /v1/quality\nGET  /healthz /metrics /metrics.json /debug/vars /debug/pprof/ /trace/requests\n")
 	})
 
 	listenAddr := *addr

@@ -122,3 +122,18 @@ func (c *Cache) Len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// Stats reports the cache's lifetime counters and current size for the
+// /v1/status rollup. Counters read 0 when the cache is unmetered.
+func (c *Cache) Stats() (hits, misses, evictions int64, entries int) {
+	if c.hits != nil {
+		hits = c.hits.Value()
+	}
+	if c.misses != nil {
+		misses = c.misses.Value()
+	}
+	if c.evictions != nil {
+		evictions = c.evictions.Value()
+	}
+	return hits, misses, evictions, c.Len()
+}

@@ -7,6 +7,7 @@
 //	/metrics        Prometheus text exposition format
 //	/metrics.json   the same snapshot as JSON
 //	/trace          phase-attributed span tree (text; ?format=json for JSON)
+//	/healthz        build identity + uptime + series count (liveness probe)
 //	/debug/vars     expvar (the registry is published, plus Go's defaults)
 //	/debug/pprof/*  the standard runtime profiles
 //
@@ -16,14 +17,47 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sync"
 	"time"
 )
+
+// processStart anchors the uptime /healthz reports. Captured at package
+// init: close enough to process start for liveness purposes.
+var processStart = time.Now()
+
+// HealthStatus is the GET /healthz response body: build identity plus
+// just enough state (uptime, registry series count) for a prober to
+// confirm the process is past startup — without scraping full /metrics.
+type HealthStatus struct {
+	Status        string  `json:"status"` // always "ok" when the process answers
+	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Series        int     `json:"series"` // registered metric series
+}
+
+// Health snapshots the process health document /healthz serves.
+func Health(reg *Registry) HealthStatus {
+	h := HealthStatus{
+		Status:        "ok",
+		Version:       buildVersion(),
+		GoVersion:     runtime.Version(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		UptimeSeconds: time.Since(processStart).Seconds(),
+	}
+	if reg != nil {
+		h.Series = reg.NumSeries()
+	}
+	return h
+}
 
 // Server is a running debug endpoint.
 type Server struct {
@@ -36,7 +70,8 @@ type Server struct {
 }
 
 // RegisterDebug mounts the standard debug endpoints — /metrics,
-// /metrics.json, /trace, /debug/vars, /debug/pprof/* — on an existing
+// /metrics.json, /trace, /healthz, /debug/vars, /debug/pprof/* — on an
+// existing
 // mux, so servers with their own routes (cmd/treeserve) expose the same
 // observability surface Serve does without a second listener. root is
 // called per /trace request and may return nil (renders "(no spans)").
@@ -66,6 +101,10 @@ func RegisterDebug(mux *http.ServeMux, reg *Registry, root func() *Span) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = root.Render(w)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(Health(reg))
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -91,7 +130,7 @@ func Serve(addr string, reg *Registry, root *Span) (*Server, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "mpctree observability\n\n/metrics\n/metrics.json\n/trace (?format=json)\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "mpctree observability\n\n/metrics\n/metrics.json\n/trace (?format=json)\n/healthz\n/debug/vars\n/debug/pprof/\n")
 	})
 
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}

@@ -76,6 +76,18 @@ func TestServeEndpoints(t *testing.T) {
 		t.Errorf("trace rounds = %d, want 13", sn.SumMetric("rounds"))
 	}
 
+	hz, ctype := get(t, base+"/healthz")
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("/healthz content-type = %q", ctype)
+	}
+	var hs HealthStatus
+	if err := json.Unmarshal([]byte(hz), &hs); err != nil {
+		t.Fatalf("/healthz bad JSON: %v\n%s", err, hz)
+	}
+	if hs.Status != "ok" || hs.GoVersion == "" || hs.Series < 1 || hs.UptimeSeconds < 0 {
+		t.Errorf("/healthz = %+v", hs)
+	}
+
 	vars, _ := get(t, base+"/debug/vars")
 	if !json.Valid([]byte(vars)) {
 		t.Errorf("/debug/vars is not valid JSON:\n%s", vars)

@@ -279,6 +279,15 @@ type Value struct {
 	Buckets []BucketValue     `json:"buckets,omitempty"`
 }
 
+// NumSeries reports how many series are registered — a cheap liveness
+// signal for /healthz (a process that registered its series is past
+// startup).
+func (r *Registry) NumSeries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}
+
 // Snapshot returns a point-in-time copy of every series, in registration
 // order (families stay contiguous for the Prometheus exporter).
 func (r *Registry) Snapshot() []Value {

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("q_seconds", "", []float64{0.1, 0.2, 0.4, 0.8})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+	// 100 samples spread uniformly over (0, 0.4]: 25 per bucket in the
+	// first three buckets... use a simple known layout instead: 50 in
+	// (0,0.1], 30 in (0.1,0.2], 15 in (0.2,0.4], 5 in (0.4,0.8].
+	fill := func(n int, v float64) {
+		for i := 0; i < n; i++ {
+			h.Observe(v)
+		}
+	}
+	fill(50, 0.05)
+	fill(30, 0.15)
+	fill(15, 0.3)
+	fill(5, 0.6)
+
+	// p50: rank 50 falls exactly at the top of the first bucket.
+	if got := h.Quantile(0.50); got < 0.099 || got > 0.101 {
+		t.Fatalf("p50 = %v, want ~0.1", got)
+	}
+	// p99: rank 99 is 4/5 into the (0.4, 0.8] bucket -> 0.4 + 0.8*0.4.
+	if got := h.Quantile(0.99); got < 0.71 || got > 0.73 {
+		t.Fatalf("p99 = %v, want ~0.72", got)
+	}
+	// p100 lands at the last bound.
+	if got := h.Quantile(1); got != 0.8 {
+		t.Fatalf("p100 = %v, want 0.8", got)
+	}
+
+	// Overflow samples clamp to the last finite bound.
+	h2 := reg.Histogram("q2_seconds", "", []float64{0.1})
+	h2.Observe(5)
+	if got := h2.Quantile(0.99); got != 0.1 {
+		t.Fatalf("overflow p99 = %v, want 0.1", got)
+	}
+}
+
+func TestObjective(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("serve_request_seconds", "", []float64{0.01, 0.1, 1}, "endpoint", "dist")
+	o := NewObjective(reg, "serve", "dist", h, 0.1)
+	if o == nil {
+		t.Fatal("objective nil with live registry")
+	}
+	for i := 0; i < 10; i++ {
+		o.Observe(0.005)
+	}
+	o.Observe(0.5) // breach
+	o.Observe(0.5) // breach
+
+	if got := o.breaches.Value(); got != 2 {
+		t.Fatalf("breaches = %d, want 2", got)
+	}
+	if h.Count() != 12 {
+		t.Fatalf("histogram count = %d, want 12", h.Count())
+	}
+	// Gauges were seeded on the first observation; force a refresh and
+	// check they move.
+	for i := int64(0); i < quantileRefreshEvery; i++ {
+		o.Observe(0.005)
+	}
+	if p50 := o.p50.Value(); p50 <= 0 || p50 > 0.01 {
+		t.Fatalf("p50 gauge = %v", p50)
+	}
+	found := false
+	for _, v := range reg.Snapshot() {
+		if v.Name == "serve_latency_objective_seconds" && v.Labels["endpoint"] == "dist" {
+			found = true
+			if v.Value != 0.1 {
+				t.Fatalf("objective gauge = %v, want 0.1", v.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("objective gauge not exported")
+	}
+
+	// Nil objective (no registry) is inert.
+	var nilO *Objective
+	nilO.Observe(1)
+	if NewObjective(nil, "serve", "dist", h, 0.1) != nil {
+		t.Fatal("NewObjective with nil registry not nil")
+	}
+}
+
+func TestSlowLogEveryNth(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	reg := New()
+	l := NewSlowLog(reg, "gate", logger, 10*time.Millisecond, 3)
+	if l == nil {
+		t.Fatal("slow log nil with live logger")
+	}
+
+	// 5 fast requests: no candidates, no logs.
+	for i := 0; i < 5; i++ {
+		l.Observe(time.Millisecond, "endpoint", "dist")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("fast requests logged: %s", buf.String())
+	}
+	// 7 slow requests with every=3: candidates 1, 4, 7 logged.
+	for i := 0; i < 7; i++ {
+		l.Observe(50*time.Millisecond, "endpoint", "dist", "request_id", "r1")
+	}
+	if got := strings.Count(buf.String(), "slow_query"); got != 3 {
+		t.Fatalf("logged %d slow queries, want 3:\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "request_id=r1") {
+		t.Fatalf("attrs missing from slow log: %s", buf.String())
+	}
+	if got := l.slow.Value(); got != 7 {
+		t.Fatalf("candidate counter = %d, want 7", got)
+	}
+
+	// Disabled configurations return nil, and nil is inert.
+	if NewSlowLog(reg, "gate", nil, time.Second, 1) != nil {
+		t.Fatal("nil logger did not disable slow log")
+	}
+	if NewSlowLog(reg, "gate", logger, 0, 1) != nil {
+		t.Fatal("zero threshold did not disable slow log")
+	}
+	var nilL *SlowLog
+	nilL.Observe(time.Hour)
+}

@@ -1,0 +1,407 @@
+// HTTP trace-context propagation for the serving plane: W3C
+// traceparent-compatible headers carry a request's trace identity from
+// treegate to treeserve replicas, a deterministic head sampler decides
+// once (at the first hop) whether a request is traced, and a bounded
+// TraceBuffer retains the span forests of completed sampled requests
+// for /trace/requests and the merged chrome-trace export.
+//
+// The wire format is the W3C Trace Context header:
+//
+//	traceparent: 00-<32 hex trace id>-<16 hex parent span id>-<2 hex flags>
+//
+// with flag bit 0 = sampled. The decision is made at the head of the
+// request path (the gate, or a replica hit directly) and every
+// downstream tier honors it, so one request is either traced end to end
+// or not at all — no torn traces. Replicas echo the span id they opened
+// in an X-Span-ID response header, which is how the gate's forward
+// spans learn their remote counterpart (`replica_span` metric) and how
+// the merged timeline nests replica work under gate attempts.
+//
+// Tracing obeys the package's write-only contract: spans record what a
+// request did, nothing reads them back, and a disabled tracer costs the
+// serving hot path exactly one atomic pointer load.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Header names. TraceParentHeader follows the W3C Trace Context spec;
+// RequestIDHeader is the serving plane's request correlation id;
+// SpanIDHeader is the response header a traced replica echoes its root
+// span id on.
+const (
+	TraceParentHeader = "traceparent"
+	RequestIDHeader   = "X-Request-ID"
+	SpanIDHeader      = "X-Span-ID"
+)
+
+// TraceContext is one request's position in a distributed trace.
+type TraceContext struct {
+	TraceID [16]byte // 128-bit id shared by every span of the request
+	SpanID  uint64   // the current (parent-for-downstream) span
+	Sampled bool     // head-sampling decision, honored by every tier
+}
+
+// Valid reports whether the context carries a usable identity: a
+// nonzero trace id and a nonzero span id, per the W3C rules.
+func (tc TraceContext) Valid() bool {
+	return tc.TraceID != [16]byte{} && tc.SpanID != 0
+}
+
+// TraceIDString renders the trace id as 32 lowercase hex digits — the
+// form logs carry for cross-tier correlation.
+func (tc TraceContext) TraceIDString() string {
+	return fmt.Sprintf("%x", tc.TraceID[:])
+}
+
+// HeaderValue renders the context as a traceparent header value.
+func (tc TraceContext) HeaderValue() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return fmt.Sprintf("00-%x-%016x-%s", tc.TraceID[:], tc.SpanID, flags)
+}
+
+// ParseTraceParent parses a traceparent header value. It accepts only
+// version 00 with a nonzero trace id and parent id; anything else
+// returns ok=false (a malformed header means "start a new trace", never
+// an error — tracing must not be able to fail a request).
+func ParseTraceParent(v string) (TraceContext, bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 || parts[0] != "00" || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return TraceContext{}, false
+	}
+	var tc TraceContext
+	for i := 0; i < 16; i++ {
+		b, err := strconv.ParseUint(parts[1][2*i:2*i+2], 16, 8)
+		if err != nil {
+			return TraceContext{}, false
+		}
+		tc.TraceID[i] = byte(b)
+	}
+	span, err := strconv.ParseUint(parts[2], 16, 64)
+	if err != nil {
+		return TraceContext{}, false
+	}
+	flags, err := strconv.ParseUint(parts[3], 16, 8)
+	if err != nil {
+		return TraceContext{}, false
+	}
+	tc.SpanID = span
+	tc.Sampled = flags&1 == 1
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// FormatSpanID renders a span id as 16 hex digits (the X-Span-ID form).
+func FormatSpanID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseSpanID parses a 16-hex-digit span id; ok=false for anything else.
+func ParseSpanID(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || id == 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+// ---- id generation ----
+
+// idState is the process-wide id sequence, seeded once so two processes
+// started in the same nanosecond still diverge (pid mixed in). Ids are
+// splitmix64 outputs of the sequence: unique within a process, and
+// collision-odds across a small fleet are negligible for 64/128 bits.
+var idState atomic.Uint64
+
+func init() {
+	idState.Store(uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<40)
+}
+
+// splitmix64 is the standard 64-bit finalizer (Steele et al.) — the
+// same mixer internal/rng builds on, inlined so obs stays dependency-free.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// NewTraceID draws a fresh 128-bit trace id.
+func NewTraceID() [16]byte {
+	var id [16]byte
+	lo := splitmix64(idState.Add(0x9E3779B97F4A7C15))
+	hi := splitmix64(idState.Add(0x9E3779B97F4A7C15))
+	for i := 0; i < 8; i++ {
+		id[i] = byte(hi >> (8 * i))
+		id[8+i] = byte(lo >> (8 * i))
+	}
+	if id == ([16]byte{}) {
+		id[15] = 1
+	}
+	return id
+}
+
+// NewSpanID draws a fresh nonzero span id. Ids stay below 2^63 so they
+// round-trip through the int64 span metrics exactly.
+func NewSpanID() uint64 {
+	id := splitmix64(idState.Add(0x9E3779B97F4A7C15)) &^ (1 << 63)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// ---- deterministic head sampling ----
+
+// Sampler decides, deterministically from the trace id alone, whether a
+// trace is recorded. Every tier holding the same fraction makes the
+// same call for the same trace id, so a sampling decision never has to
+// be re-litigated downstream (downstream tiers honor the propagated
+// flag anyway; the determinism makes standalone replicas consistent
+// too). A nil Sampler never samples.
+type Sampler struct {
+	threshold uint64 // sample iff hash(traceID) < threshold
+	always    bool
+}
+
+// NewSampler builds a sampler keeping the given fraction of traces
+// (clamped to [0, 1]). 0 keeps nothing, 1 keeps everything — both
+// exactly, which is what the bit-identity acceptance tests assert.
+func NewSampler(fraction float64) *Sampler {
+	if fraction >= 1 {
+		return &Sampler{always: true}
+	}
+	if fraction <= 0 {
+		return &Sampler{}
+	}
+	return &Sampler{threshold: uint64(fraction * float64(1<<63) * 2)}
+}
+
+// Sample reports the head-sampling decision for a trace id.
+func (s *Sampler) Sample(id [16]byte) bool {
+	if s == nil {
+		return false
+	}
+	if s.always {
+		return true
+	}
+	if s.threshold == 0 {
+		return false
+	}
+	var lo, hi uint64
+	for i := 0; i < 8; i++ {
+		hi |= uint64(id[i]) << (8 * i)
+		lo |= uint64(id[8+i]) << (8 * i)
+	}
+	return splitmix64(lo^splitmix64(hi)) < s.threshold
+}
+
+// ---- completed-request retention ----
+
+// TraceBuffer retains the last cap completed sampled request roots —
+// what /trace/requests serves and what the merged chrome-trace export
+// reads. It is a ring: old requests age out, memory stays bounded no
+// matter how long the server runs.
+type TraceBuffer struct {
+	mu    sync.Mutex
+	cap   int
+	ring  []*Span
+	next  int
+	total uint64
+}
+
+// NewTraceBuffer builds a buffer holding at most cap roots (cap <= 0
+// defaults to 256).
+func NewTraceBuffer(cap int) *TraceBuffer {
+	if cap <= 0 {
+		cap = 256
+	}
+	return &TraceBuffer{cap: cap, ring: make([]*Span, 0, cap)}
+}
+
+// Add retains a completed root span. Nil roots and nil buffers are
+// ignored.
+func (b *TraceBuffer) Add(root *Span) {
+	if b == nil || root == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.total++
+	if len(b.ring) < b.cap {
+		b.ring = append(b.ring, root)
+		return
+	}
+	b.ring[b.next] = root
+	b.next = (b.next + 1) % b.cap
+}
+
+// Total reports how many roots were ever added (retained or aged out).
+func (b *TraceBuffer) Total() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// Snapshots copies the retained roots, oldest first. Nil-safe.
+func (b *TraceBuffer) Snapshots() []*SpanSnapshot {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	roots := make([]*Span, 0, len(b.ring))
+	roots = append(roots, b.ring[b.next:]...)
+	roots = append(roots, b.ring[:b.next]...)
+	b.mu.Unlock()
+	out := make([]*SpanSnapshot, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, r.Snapshot())
+	}
+	return out
+}
+
+// ---- the request tracer ----
+
+// Tracer owns a serving tier's request tracing: the head-sampling
+// policy plus the buffer of completed request span forests. Servers
+// hold it behind an atomic pointer; a nil tracer is tracing disabled at
+// the cost of one atomic load per request.
+type Tracer struct {
+	sampler *Sampler
+	buf     *TraceBuffer
+}
+
+// NewTracer builds a tracer head-sampling the given fraction of
+// requests into a buffer of bufCap completed roots.
+func NewTracer(fraction float64, bufCap int) *Tracer {
+	return &Tracer{sampler: NewSampler(fraction), buf: NewTraceBuffer(bufCap)}
+}
+
+// Buffer returns the completed-request buffer (for /trace/requests and
+// timeline exports).
+func (t *Tracer) Buffer() *TraceBuffer {
+	if t == nil {
+		return nil
+	}
+	return t.buf
+}
+
+// StartRequest opens the root span for one inbound request. A valid
+// parent context is continued (its sampled flag is final: unsampled
+// propagated requests stay unsampled regardless of the local policy);
+// otherwise a fresh trace id is drawn and the local sampler decides.
+// Unsampled requests return a nil span — all span calls downstream are
+// nil-safe no-ops — plus the context to propagate. Sampled roots carry
+// span_id, trace_id (low 64 bits), and parent_span metrics so merged
+// timelines can stitch processes together.
+func (t *Tracer) StartRequest(parent TraceContext, name string) (*Span, TraceContext) {
+	if t == nil {
+		return nil, TraceContext{}
+	}
+	if parent.Valid() {
+		if !parent.Sampled {
+			return nil, parent
+		}
+		id := NewSpanID()
+		sp := NewSpan(name)
+		sp.Add("span_id", int64(id))
+		sp.Add("parent_span", int64(parent.SpanID&^(1<<63)))
+		sp.Add("trace_id", traceIDLow(parent.TraceID))
+		return sp, TraceContext{TraceID: parent.TraceID, SpanID: id, Sampled: true}
+	}
+	traceID := NewTraceID()
+	if !t.sampler.Sample(traceID) {
+		return nil, TraceContext{TraceID: traceID, SpanID: NewSpanID(), Sampled: false}
+	}
+	id := NewSpanID()
+	sp := NewSpan(name)
+	sp.Add("span_id", int64(id))
+	sp.Add("trace_id", traceIDLow(traceID))
+	return sp, TraceContext{TraceID: traceID, SpanID: id, Sampled: true}
+}
+
+// Finish closes a request root and retains it. Nil-safe on both.
+func (t *Tracer) Finish(root *Span) {
+	if t == nil || root == nil {
+		return
+	}
+	root.End()
+	t.buf.Add(root)
+}
+
+// traceIDLow folds the low 64 bits of a trace id into a span metric.
+func traceIDLow(id [16]byte) int64 {
+	var lo uint64
+	for i := 0; i < 8; i++ {
+		lo |= uint64(id[8+i]) << (8 * i)
+	}
+	return int64(lo &^ (1 << 63))
+}
+
+// ---- request-context plumbing ----
+
+type traceCtxKey struct{}
+
+// requestTrace is what rides the context: the live root span plus the
+// propagation identity.
+type requestTrace struct {
+	span *Span
+	tctx TraceContext
+}
+
+// ContextWithTrace attaches a request's root span and trace identity to
+// a context for handlers downstream.
+func ContextWithTrace(ctx context.Context, span *Span, tctx TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, &requestTrace{span: span, tctx: tctx})
+}
+
+// TraceFromContext returns the request's root span and trace identity,
+// or (nil, zero) when the request is untraced.
+func TraceFromContext(ctx context.Context) (*Span, TraceContext) {
+	if rt, ok := ctx.Value(traceCtxKey{}).(*requestTrace); ok {
+		return rt.span, rt.tctx
+	}
+	return nil, TraceContext{}
+}
+
+// SpanFromContext is TraceFromContext for callers that only open child
+// spans. Returns nil (safe for every Span method) when untraced.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := TraceFromContext(ctx)
+	return sp
+}
+
+// RegisterRequestTraces mounts GET /trace/requests on mux: the
+// buffer's completed sampled request forests as {"spans": [...]}, the
+// feed the merged gate+replica timeline export reads.
+func RegisterRequestTraces(mux *http.ServeMux, buf *TraceBuffer) {
+	mux.HandleFunc("/trace/requests", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		spans := buf.Snapshots()
+		if spans == nil {
+			spans = []*SpanSnapshot{}
+		}
+		_ = json.NewEncoder(w).Encode(struct {
+			Spans []*SpanSnapshot `json:"spans"`
+		}{Spans: spans})
+	})
+}

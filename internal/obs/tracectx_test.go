@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tc := TraceContext{SpanID: 0x1234abcd5678ef90, Sampled: true}
+	for i := range tc.TraceID {
+		tc.TraceID[i] = byte(i + 1)
+	}
+	got, ok := ParseTraceParent(tc.HeaderValue())
+	if !ok {
+		t.Fatalf("ParseTraceParent(%q) rejected", tc.HeaderValue())
+	}
+	if got != tc {
+		t.Fatalf("round trip: got %+v want %+v", got, tc)
+	}
+
+	tc.Sampled = false
+	got, ok = ParseTraceParent(tc.HeaderValue())
+	if !ok || got.Sampled {
+		t.Fatalf("unsampled round trip: got %+v ok=%v", got, ok)
+	}
+}
+
+func TestTraceParentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-00000000000000000000000000000000-1234567890abcdef-01", // zero trace id
+		"00-0102030405060708090a0b0c0d0e0f10-0000000000000000-01", // zero span id
+		"01-0102030405060708090a0b0c0d0e0f10-1234567890abcdef-01", // wrong version
+		"00-0102030405060708090a0b0c0d0e0f-1234567890abcdef-01",   // short trace id
+		"00-0102030405060708090a0b0c0d0e0f10-1234567890abcde-01",  // short span id
+		"00-0102030405060708090a0b0c0d0e0fzz-1234567890abcdef-01", // bad hex
+		"garbage",
+		"00-0102030405060708090a0b0c0d0e0f10-1234567890abcdef",
+	}
+	for _, v := range bad {
+		if _, ok := ParseTraceParent(v); ok {
+			t.Errorf("ParseTraceParent(%q) accepted", v)
+		}
+	}
+}
+
+func TestSpanIDRoundTrip(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		id := NewSpanID()
+		if id == 0 || id>>63 != 0 {
+			t.Fatalf("NewSpanID out of range: %x", id)
+		}
+		got, ok := ParseSpanID(FormatSpanID(id))
+		if !ok || got != id {
+			t.Fatalf("span id round trip: %x -> %x ok=%v", id, got, ok)
+		}
+	}
+	if _, ok := ParseSpanID("xyz"); ok {
+		t.Fatal("ParseSpanID accepted garbage")
+	}
+	if _, ok := ParseSpanID("0000000000000000"); ok {
+		t.Fatal("ParseSpanID accepted zero")
+	}
+}
+
+func TestSamplerEdgesAndDeterminism(t *testing.T) {
+	never := NewSampler(0)
+	always := NewSampler(1)
+	half := NewSampler(0.5)
+	kept := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		id := NewTraceID()
+		if never.Sample(id) {
+			t.Fatal("0-fraction sampler kept a trace")
+		}
+		if !always.Sample(id) {
+			t.Fatal("1-fraction sampler dropped a trace")
+		}
+		a, b := half.Sample(id), half.Sample(id)
+		if a != b {
+			t.Fatal("sampler not deterministic for a fixed id")
+		}
+		if a {
+			kept++
+		}
+	}
+	if kept < n/4 || kept > 3*n/4 {
+		t.Fatalf("0.5 sampler kept %d of %d", kept, n)
+	}
+	var nilS *Sampler
+	if nilS.Sample(NewTraceID()) {
+		t.Fatal("nil sampler sampled")
+	}
+}
+
+func TestTraceBufferRing(t *testing.T) {
+	b := NewTraceBuffer(4)
+	for i := 0; i < 10; i++ {
+		sp := NewSpan("req")
+		sp.Add("seq", int64(i))
+		sp.End()
+		b.Add(sp)
+	}
+	snaps := b.Snapshots()
+	if len(snaps) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(snaps))
+	}
+	for i, s := range snaps {
+		if want := int64(6 + i); s.Metrics["seq"] != want {
+			t.Fatalf("snapshot %d has seq %d, want %d", i, s.Metrics["seq"], want)
+		}
+	}
+	if b.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", b.Total())
+	}
+	var nilB *TraceBuffer
+	nilB.Add(NewSpan("x"))
+	if nilB.Snapshots() != nil || nilB.Total() != 0 {
+		t.Fatal("nil buffer not inert")
+	}
+}
+
+func TestTracerStartRequest(t *testing.T) {
+	tr := NewTracer(1, 16)
+
+	// Fresh trace, sampler keeps everything.
+	sp, tctx := tr.StartRequest(TraceContext{}, "serve dist")
+	if sp == nil || !tctx.Sampled || !tctx.Valid() {
+		t.Fatalf("fresh sampled request: span=%v tctx=%+v", sp, tctx)
+	}
+	if sp.Metric("span_id") != int64(tctx.SpanID) {
+		t.Fatal("root span_id metric does not match context span id")
+	}
+	if sp.Metric("parent_span") != 0 {
+		t.Fatal("fresh root has a parent_span")
+	}
+	tr.Finish(sp)
+	if got := len(tr.Buffer().Snapshots()); got != 1 {
+		t.Fatalf("buffer has %d roots, want 1", got)
+	}
+
+	// Propagated sampled parent is continued with a fresh span id.
+	child, ctctx := tr.StartRequest(tctx, "serve knn")
+	if child == nil || !ctctx.Sampled {
+		t.Fatal("sampled parent not continued")
+	}
+	if ctctx.TraceID != tctx.TraceID {
+		t.Fatal("trace id not preserved across hops")
+	}
+	if ctctx.SpanID == tctx.SpanID {
+		t.Fatal("child reused parent span id")
+	}
+	if child.Metric("parent_span") != int64(tctx.SpanID) {
+		t.Fatal("child parent_span metric wrong")
+	}
+
+	// Propagated unsampled parent stays unsampled even at fraction 1.
+	unsampled := tctx
+	unsampled.Sampled = false
+	sp2, tctx2 := tr.StartRequest(unsampled, "serve dist")
+	if sp2 != nil || tctx2.Sampled {
+		t.Fatal("unsampled propagated request was sampled locally")
+	}
+
+	// Fraction 0: fresh requests never sampled, context still propagable.
+	tr0 := NewTracer(0, 16)
+	sp3, tctx3 := tr0.StartRequest(TraceContext{}, "serve dist")
+	if sp3 != nil || tctx3.Sampled || !tctx3.Valid() {
+		t.Fatalf("0-fraction tracer: span=%v tctx=%+v", sp3, tctx3)
+	}
+
+	// Nil tracer is inert.
+	var nilT *Tracer
+	if sp, _ := nilT.StartRequest(TraceContext{}, "x"); sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	nilT.Finish(NewSpan("x"))
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if sp := SpanFromContext(ctx); sp != nil {
+		t.Fatal("empty context produced a span")
+	}
+	root := NewSpan("req")
+	tctx := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	ctx = ContextWithTrace(ctx, root, tctx)
+	gotSp, gotCtx := TraceFromContext(ctx)
+	if gotSp != root || gotCtx != tctx {
+		t.Fatal("context round trip lost trace state")
+	}
+	// Child spans from the context are attached to the root.
+	SpanFromContext(ctx).Child("decode").End()
+	if len(root.Snapshot().Children) != 1 {
+		t.Fatal("child not attached to root")
+	}
+}
+
+func TestRegisterRequestTraces(t *testing.T) {
+	tr := NewTracer(1, 8)
+	sp, _ := tr.StartRequest(TraceContext{}, "serve dist")
+	sp.Child("compute_dist").End()
+	tr.Finish(sp)
+
+	mux := http.NewServeMux()
+	RegisterRequestTraces(mux, tr.Buffer())
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/trace/requests", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /trace/requests: %d", rec.Code)
+	}
+	var doc struct {
+		Spans []*SpanSnapshot `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].Name != "serve dist" {
+		t.Fatalf("spans = %+v", doc.Spans)
+	}
+	if len(doc.Spans[0].Children) != 1 || doc.Spans[0].Children[0].Name != "compute_dist" {
+		t.Fatalf("children = %+v", doc.Spans[0].Children)
+	}
+}

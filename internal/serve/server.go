@@ -39,6 +39,21 @@ type Options struct {
 	// header), the endpoint span name, method, path, status, duration,
 	// and remote address.
 	Logger *slog.Logger
+	// Tracer, if non-nil, enables per-request span tracing: a sampled
+	// request gets a root span ("serve <endpoint>") with decode,
+	// registry_snapshot, compute_*, and encode children, continuing a
+	// propagated traceparent context (the gate's) when one arrives and
+	// echoing the root span id in X-Span-ID. Tracing is write-only —
+	// responses are bit-identical with it on or off — and a nil tracer
+	// costs the hot path one atomic pointer load.
+	Tracer *obs.Tracer
+	// SlowLog, if non-nil, emits a sampled structured record for
+	// requests over its threshold (every Nth candidate).
+	SlowLog *obs.SlowLog
+	// SLOTarget is the per-request latency objective: requests over it
+	// burn serve_slo_breaches_total and the bound is published as
+	// serve_latency_objective_seconds. 0 publishes quantile gauges only.
+	SLOTarget time.Duration
 }
 
 // DefaultLatencyBuckets spans 100µs–25s in powers of ~5 — wide enough
@@ -58,6 +73,10 @@ type Server struct {
 	reg      *obs.Registry
 	inflight *obs.Gauge
 
+	tracer    atomic.Pointer[obs.Tracer] // nil = tracing disabled
+	slow      *obs.SlowLog
+	sloTarget float64 // latency objective in seconds; 0 = none
+
 	logger  *slog.Logger
 	startID string        // request-id prefix, unique per server start
 	reqSeq  atomic.Uint64 // request-id sequence
@@ -73,7 +92,14 @@ func NewServer(trees *Registry, opts Options) *Server {
 		maxBatch: opts.MaxBatch,
 		reg:      opts.Obs,
 		logger:   opts.Logger,
+		slow:     opts.SlowLog,
 		startID:  strconv.FormatInt(time.Now().UnixNano(), 36),
+	}
+	if opts.Tracer != nil {
+		s.tracer.Store(opts.Tracer)
+	}
+	if opts.SLOTarget > 0 {
+		s.sloTarget = opts.SLOTarget.Seconds()
 	}
 	if s.deadline == 0 {
 		s.deadline = 30 * time.Second
@@ -127,36 +153,62 @@ func notFound(err error) error {
 // reloads, so it finishes harmlessly and is discarded.
 func (s *Server) endpoint(name, method string, fn func(*http.Request) (any, error)) http.HandlerFunc {
 	var requests, errors4xx, errors5xx *obs.Counter
-	var latency *obs.Histogram
+	var objective *obs.Objective
 	if s.reg != nil {
 		requests = s.reg.Counter("serve_requests_total", "API requests received.", "endpoint", name)
 		errors4xx = s.reg.Counter("serve_errors_total", "API requests answered with an error status.", "endpoint", name, "class", "4xx")
 		errors5xx = s.reg.Counter("serve_errors_total", "API requests answered with an error status.", "endpoint", name, "class", "5xx")
-		latency = s.reg.Histogram("serve_request_seconds", "API request latency in seconds.", DefaultLatencyBuckets(), "endpoint", name)
+		latency := s.reg.Histogram("serve_request_seconds", "API request latency in seconds.", DefaultLatencyBuckets(), "endpoint", name)
+		objective = obs.NewObjective(s.reg, "serve", name, latency, s.sloTarget)
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		reqID := r.Header.Get("X-Request-ID")
+		reqID := r.Header.Get(obs.RequestIDHeader)
 		if reqID == "" {
 			reqID = s.startID + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
 		}
-		w.Header().Set("X-Request-ID", reqID)
+		w.Header().Set(obs.RequestIDHeader, reqID)
 		status := http.StatusOK
-		if s.logger != nil {
+		// Tracing: the disabled path is exactly this one atomic load. A
+		// sampled request opens a root span, continued from the gate's
+		// propagated context when one arrives; the root span id is echoed
+		// in X-Span-ID so the gate's forward span can nest this one.
+		var span *obs.Span
+		var tctx obs.TraceContext
+		if tr := s.tracer.Load(); tr != nil {
+			parent, _ := obs.ParseTraceParent(r.Header.Get(obs.TraceParentHeader))
+			span, tctx = tr.StartRequest(parent, "serve "+name)
+			if span != nil {
+				w.Header().Set(obs.SpanIDHeader, obs.FormatSpanID(tctx.SpanID))
+				defer func() {
+					span.Add("status", int64(status))
+					tr.Finish(span)
+				}()
+			}
+		}
+		if s.logger != nil || s.slow != nil {
 			defer func() {
-				s.logger.Info("request",
+				d := time.Since(start)
+				attrs := []any{
 					"request_id", reqID, "endpoint", name,
 					"method", r.Method, "path", r.URL.Path,
 					"status", status,
-					"duration_ms", float64(time.Since(start).Microseconds())/1000,
-					"remote", r.RemoteAddr)
+					"duration_ms", float64(d.Microseconds()) / 1000,
+					"remote", r.RemoteAddr}
+				if span != nil {
+					attrs = append(attrs, "trace_id", tctx.TraceIDString())
+				}
+				s.slow.Observe(d, attrs...)
+				if s.logger != nil {
+					s.logger.Info("request", attrs...)
+				}
 			}()
 		}
 		if requests != nil {
 			requests.Inc()
 			s.inflight.Add(1)
 			defer s.inflight.Add(-1)
-			defer func() { latency.Observe(time.Since(start).Seconds()) }()
+			defer func() { objective.Observe(time.Since(start).Seconds()) }()
 		}
 		fail := func(st int, msg string) {
 			status = st
@@ -178,6 +230,9 @@ func (s *Server) endpoint(name, method string, fn func(*http.Request) (any, erro
 		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 
 		ctx := r.Context()
+		if span != nil {
+			ctx = obs.ContextWithTrace(ctx, span, tctx)
+		}
 		if s.deadline > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.deadline)
@@ -211,8 +266,10 @@ func (s *Server) endpoint(name, method string, fn func(*http.Request) (any, erro
 				}
 				return
 			}
+			esp := span.Child("encode")
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(res.v)
+			esp.End()
 		}
 	}
 }
@@ -275,11 +332,17 @@ type DistResponse struct {
 }
 
 func (s *Server) handleDist(r *http.Request) (any, error) {
+	span := obs.SpanFromContext(r.Context())
 	var req DistRequest
-	if err := decode(r, &req); err != nil {
+	dsp := span.Child("decode")
+	err := decode(r, &req)
+	dsp.End()
+	if err != nil {
 		return nil, err
 	}
+	ssp := span.Child("registry_snapshot")
 	t, gen, ver, err := s.treeSnap(req.Tree)
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -296,14 +359,18 @@ func (s *Server) handleDist(r *http.Request) (any, error) {
 		}
 	}
 	out := make([]float64, len(req.Pairs))
+	csp := span.Child("compute_dist")
+	csp.Add("pairs", int64(len(req.Pairs)))
 	// The request context carries the per-request deadline: a timed-out
 	// batch stops its in-flight shards instead of computing a result
 	// nobody will read.
-	if err := par.ForCtx(r.Context(), s.workers, len(req.Pairs), func(lo, hi int) {
+	err = par.ForCtx(r.Context(), s.workers, len(req.Pairs), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = t.Dist(req.Pairs[i][0], req.Pairs[i][1])
 		}
-	}); err != nil {
+	})
+	csp.End()
+	if err != nil {
 		return nil, err
 	}
 	return DistResponse{Tree: req.Tree, Generation: gen, Version: ver, Dists: out}, nil
@@ -332,11 +399,17 @@ type KNNResponse struct {
 }
 
 func (s *Server) handleKNN(r *http.Request) (any, error) {
+	span := obs.SpanFromContext(r.Context())
 	var req KNNRequest
-	if err := decode(r, &req); err != nil {
+	dsp := span.Child("decode")
+	err := decode(r, &req)
+	dsp.End()
+	if err != nil {
 		return nil, err
 	}
+	ssp := span.Child("registry_snapshot")
 	t, gen, ver, err := s.treeSnap(req.Tree)
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -360,11 +433,16 @@ func (s *Server) handleKNN(r *http.Request) (any, error) {
 		}
 	}
 	out := make([][]hst.Neighbor, len(points))
-	if err := par.ForCtx(r.Context(), s.workers, len(points), func(lo, hi int) {
+	csp := span.Child("compute_knn")
+	csp.Add("points", int64(len(points)))
+	csp.Add("k", int64(req.K))
+	err = par.ForCtx(r.Context(), s.workers, len(points), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = t.KNN(points[i], req.K)
 		}
-	}); err != nil {
+	})
+	csp.End()
+	if err != nil {
 		return nil, err
 	}
 	return KNNResponse{Tree: req.Tree, Generation: gen, Version: ver, Neighbors: out}, nil
@@ -388,18 +466,27 @@ type CutResponse struct {
 }
 
 func (s *Server) handleCut(r *http.Request) (any, error) {
+	span := obs.SpanFromContext(r.Context())
 	var req CutRequest
-	if err := decode(r, &req); err != nil {
+	dsp := span.Child("decode")
+	err := decode(r, &req)
+	dsp.End()
+	if err != nil {
 		return nil, err
 	}
+	ssp := span.Child("registry_snapshot")
 	t, err := s.tree(req.Tree)
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
 	if !(req.Scale > 0) || math.IsInf(req.Scale, 0) {
 		return nil, badRequest("\"scale\" must be positive and finite, got %v", req.Scale)
 	}
+	csp := span.Child("compute_cut")
+	csp.Add("points", int64(t.NumPoints()))
 	labels := t.CutAtScale(req.Scale)
+	csp.End()
 	k := 0
 	for _, l := range labels {
 		if l+1 > k {
@@ -431,11 +518,17 @@ type EMDResponse struct {
 }
 
 func (s *Server) handleEMD(r *http.Request) (any, error) {
+	span := obs.SpanFromContext(r.Context())
 	var req EMDRequest
-	if err := decode(r, &req); err != nil {
+	dsp := span.Child("decode")
+	err := decode(r, &req)
+	dsp.End()
+	if err != nil {
 		return nil, err
 	}
+	ssp := span.Child("registry_snapshot")
 	t, err := s.tree(req.Tree)
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -447,7 +540,10 @@ func (s *Server) handleEMD(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, badRequest("nu: %v", err)
 	}
-	return EMDResponse{Tree: req.Tree, EMD: t.EMD(mu, nu)}, nil
+	csp := span.Child("compute_emd")
+	emd := t.EMD(mu, nu)
+	csp.End()
+	return EMDResponse{Tree: req.Tree, EMD: emd}, nil
 }
 
 // ---- /v1/medoid ----
@@ -465,15 +561,24 @@ type MedoidResponse struct {
 }
 
 func (s *Server) handleMedoid(r *http.Request) (any, error) {
+	span := obs.SpanFromContext(r.Context())
 	var req MedoidRequest
-	if err := decode(r, &req); err != nil {
-		return nil, err
-	}
-	t, err := s.tree(req.Tree)
+	dsp := span.Child("decode")
+	err := decode(r, &req)
+	dsp.End()
 	if err != nil {
 		return nil, err
 	}
+	ssp := span.Child("registry_snapshot")
+	t, err := s.tree(req.Tree)
+	ssp.End()
+	if err != nil {
+		return nil, err
+	}
+	csp := span.Child("compute_medoid")
+	csp.Add("points", int64(t.NumPoints()))
 	p, total := t.MedoidLeaf()
+	csp.End()
 	return MedoidResponse{Tree: req.Tree, Point: p, TotalDist: total}, nil
 }
 
